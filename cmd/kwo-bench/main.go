@@ -1,0 +1,94 @@
+// kwo-bench regenerates every table and figure of the paper's
+// evaluation section (§7) plus the headline onboarding/savings claims
+// and the design ablations, printing paper-reported numbers alongside
+// the measured ones.
+//
+// Usage:
+//
+//	kwo-bench                  # run everything
+//	kwo-bench -fig 4a          # one experiment: 4a 4b 5 6 7 onboarding band ablations
+//	kwo-bench -seed 7 -csv     # different seed; machine-readable rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kwo/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: 4a, 4b, 5, 6, 7, onboarding, band, ablations, all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV rows instead of tables")
+	flag.Parse()
+
+	type experiment struct {
+		name string
+		run  func()
+	}
+	show := func(table fmt.Stringer, csvOut func() string) {
+		if *csv && csvOut != nil {
+			fmt.Print(csvOut())
+		} else {
+			fmt.Println(table)
+		}
+	}
+	all := []experiment{
+		{"4a", func() {
+			r := experiments.Fig4a(*seed)
+			show(r, r.CSV)
+		}},
+		{"4b", func() {
+			r := experiments.Fig4b(*seed)
+			show(r, r.CSV)
+		}},
+		{"5", func() {
+			r := experiments.Fig5(*seed)
+			show(r, r.CSV)
+		}},
+		{"6", func() {
+			r := experiments.Fig6(*seed)
+			show(r, r.CSV)
+		}},
+		{"7", func() {
+			r := experiments.Fig7(*seed)
+			show(r, r.CSV)
+		}},
+		{"onboarding", func() {
+			r := experiments.Onboarding(*seed)
+			show(r, r.CSV)
+		}},
+		{"band", func() {
+			r := experiments.SavingsBand(*seed)
+			show(r, r.CSV)
+		}},
+		{"ablations", func() {
+			fmt.Println(experiments.AblationCostModel(*seed))
+			fmt.Println(experiments.AblationBackoff(*seed))
+			r := experiments.ValueOfLearning(*seed)
+			show(r, r.CSV)
+		}},
+	}
+
+	want := strings.ToLower(*fig)
+	ran := false
+	for _, e := range all {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		e.run()
+		if !*csv {
+			fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use 4a, 4b, 5, 6, 7, onboarding, band, ablations, all\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,126 @@
+// kwo-dashboard renders the web portal's KPI dashboards (§4.1) as text:
+// spend and savings, latency and queue percentiles, cost per query, the
+// real-time action log, and the value-based-pricing invoices. It runs a
+// self-contained scenario (the portal's data source is the engine's
+// telemetry store, which in this reproduction lives in memory).
+//
+// Usage:
+//
+//	kwo-dashboard                     # default BI scenario
+//	kwo-dashboard -workload etl -days 10 -aggregate weekly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"kwo"
+)
+
+func main() {
+	workloadName := flag.String("workload", "bi", "workload: bi, etl, adhoc")
+	days := flag.Int("days", 10, "total simulated days (KWO active from day 3)")
+	aggregate := flag.String("aggregate", "daily", "series aggregation: daily, weekly")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var gen kwo.Generator
+	switch *workloadName {
+	case "bi":
+		gen = kwo.BIDashboards(60)
+	case "etl":
+		gen = kwo.ETLPipeline(time.Hour, 6)
+	case "adhoc":
+		gen = kwo.AdHocAnalytics(10)
+	default:
+		log.Fatalf("unknown workload %q", *workloadName)
+	}
+
+	sim := kwo.NewSimulation(*seed)
+	if _, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name: "MAIN_WH", Size: kwo.SizeLarge, MinClusters: 1, MaxClusters: 2,
+		AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	sim.AddWorkload("MAIN_WH", gen, time.Duration(*days+1)*24*time.Hour)
+
+	preDays := 3
+	if preDays > *days {
+		preDays = *days / 2
+	}
+	sim.RunFor(time.Duration(preDays) * 24 * time.Hour)
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	if err := opt.Attach("MAIN_WH", kwo.Settings{Slider: kwo.Balanced}); err != nil {
+		log.Fatal(err)
+	}
+	opt.Start()
+	attach := sim.Now()
+	sim.RunFor(time.Duration(*days-preDays) * 24 * time.Hour)
+
+	fmt.Println("══════════════════════════════════════════════════════════")
+	fmt.Println(" KEEBO WAREHOUSE OPTIMIZATION — DASHBOARD")
+	fmt.Println("══════════════════════════════════════════════════════════")
+
+	rep, err := opt.Report("MAIN_WH", attach, sim.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+
+	fmt.Printf("\n%s spend / savings / latency\n", *aggregate)
+	fmt.Println("------------------------------------------------------------")
+	series, err := opt.DailySeries("MAIN_WH", sim.Start(), *days)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *aggregate == "weekly" {
+		fmt.Println("week  credits    queries   p99")
+		for w := 0; w*7 < len(series); w++ {
+			var credits float64
+			var queries int
+			var worstP99 time.Duration
+			for d := w * 7; d < len(series) && d < (w+1)*7; d++ {
+				credits += series[d].Credits
+				queries += series[d].Queries
+				if series[d].P99Latency > worstP99 {
+					worstP99 = series[d].P99Latency
+				}
+			}
+			fmt.Printf("%-5d %-10.2f %-9d %v\n", w+1, credits, queries,
+				worstP99.Round(100*time.Millisecond))
+		}
+	} else {
+		fmt.Println("day   credits    queries   avg lat    p99        queue p99")
+		for i, d := range series {
+			marker := ""
+			if !d.Day.Before(attach) {
+				marker = "  ← KWO"
+			}
+			fmt.Printf("%-5d %-10.2f %-9d %-10v %-10v %v%s\n", i+1, d.Credits, d.Queries,
+				d.AvgLatency.Round(10*time.Millisecond),
+				d.P99Latency.Round(100*time.Millisecond),
+				d.P99Queue.Round(10*time.Millisecond), marker)
+		}
+	}
+
+	fmt.Println("\nreal-time actions (most recent day, hourly view)")
+	fmt.Println("------------------------------------------------------------")
+	hours, err := opt.HourlySeries("MAIN_WH", sim.Now().Add(-24*time.Hour), 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hour  actual    overhead   est.savings")
+	for i, h := range hours {
+		fmt.Printf("%-5d %-9.3f %-10.5f %.3f\n", i, h.ActualCredits, h.OverheadCredits, h.EstimatedSavings)
+	}
+
+	fmt.Println("\nvalue-based pricing invoices")
+	fmt.Println("------------------------------------------------------------")
+	for _, inv := range opt.Invoices() {
+		fmt.Println(inv)
+	}
+	fmt.Printf("\ncumulative estimated savings: %.2f credits\n", opt.TotalSavings())
+}

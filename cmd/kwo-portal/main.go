@@ -1,0 +1,76 @@
+// kwo-portal serves KWO's JSON API (§4.1) over a live simulation:
+// virtual warehouse time advances in lock-step with wall time at a
+// configurable speed-up, so dashboards evolve while you watch, and
+// slider/constraint changes made through the API affect the running
+// optimizer.
+//
+// Usage:
+//
+//	kwo-portal -listen :8080 -speedup 3600    # 1 wall second = 1 virtual hour
+//	curl localhost:8080/api/v1/status
+//	curl localhost:8080/api/v1/warehouses
+//	curl localhost:8080/api/v1/warehouses/BI_WH/report?from=-24h
+//	curl -X PUT -d '{"position":5}' localhost:8080/api/v1/warehouses/BI_WH/slider
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"kwo"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve the API on")
+	speedup := flag.Float64("speedup", 3600, "virtual seconds per wall second")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	sim := kwo.NewSimulation(*seed)
+	if _, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name: "BI_WH", Size: kwo.SizeLarge, MinClusters: 1, MaxClusters: 2,
+		AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name: "ETL_WH", Size: kwo.SizeMedium, MinClusters: 1, MaxClusters: 1,
+		AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	sim.AddWorkload("BI_WH", kwo.BIDashboards(60), 90*24*time.Hour)
+	sim.AddWorkload("ETL_WH", kwo.ETLPipeline(time.Hour, 6), 90*24*time.Hour)
+
+	// Two days of history, then attach both warehouses.
+	sim.RunFor(2 * 24 * time.Hour)
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	for _, wh := range []string{"BI_WH", "ETL_WH"} {
+		if err := opt.Attach(wh, kwo.Settings{Slider: kwo.Balanced}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	opt.Start()
+
+	// Advance virtual time with wall time; the portal calls this under
+	// its own lock before each request.
+	lastWall := time.Now()
+	advance := func() {
+		now := time.Now()
+		elapsed := now.Sub(lastWall)
+		lastWall = now
+		virtual := time.Duration(float64(elapsed) * *speedup)
+		if virtual > 30*24*time.Hour {
+			virtual = 30 * 24 * time.Hour // cap a long pause
+		}
+		sim.RunFor(virtual)
+	}
+
+	fmt.Printf("kwo-portal: serving on %s (1 wall second = %v of warehouse time)\n",
+		*listen, time.Duration(*speedup*float64(time.Second)))
+	fmt.Println("try: curl localhost" + *listen + "/api/v1/status")
+	log.Fatal(http.ListenAndServe(*listen, opt.PortalWithAdvance(advance)))
+}

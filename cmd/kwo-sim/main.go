@@ -1,0 +1,117 @@
+// kwo-sim runs one end-to-end warehouse-optimization scenario: a
+// configurable workload on a configurable warehouse, a pre-KWO
+// observation period, then optimization — and prints the before/after
+// comparison.
+//
+// Usage:
+//
+//	kwo-sim -workload bi -size Large -pre-days 3 -kwo-days 7 -slider 3
+//	kwo-sim -workload etl -suspend 10m
+//	kwo-sim -workload mixed -seed 7 -qph 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"kwo"
+)
+
+func main() {
+	workloadName := flag.String("workload", "bi", "workload: bi, etl, adhoc, mixed")
+	sizeName := flag.String("size", "Large", "initial warehouse size (X-Small … 6X-Large)")
+	preDays := flag.Int("pre-days", 3, "days of history before enabling KWO")
+	kwoDays := flag.Int("kwo-days", 7, "days with KWO enabled")
+	sliderPos := flag.Int("slider", 3, "slider position 1 (Best Performance) … 5 (Lowest Cost)")
+	suspend := flag.Duration("suspend", 10*time.Minute, "initial auto-suspend interval")
+	maxClusters := flag.Int("max-clusters", 2, "multi-cluster maximum")
+	qph := flag.Float64("qph", 60, "workload intensity (peak or base queries/hour)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	tracePath := flag.String("trace", "", "replay a kwo-trace file instead of generating a workload")
+	flag.Parse()
+
+	size, err := kwo.ParseSize(*sizeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slider := kwo.Slider(*sliderPos)
+	if !slider.Valid() {
+		log.Fatalf("slider %d out of range 1..5", *sliderPos)
+	}
+	var gen kwo.Generator
+	switch *workloadName {
+	case "bi":
+		gen = kwo.BIDashboards(*qph)
+	case "etl":
+		gen = kwo.ETLPipeline(time.Hour, 6)
+	case "adhoc":
+		gen = kwo.AdHocAnalytics(*qph / 4)
+	case "mixed":
+		gen = kwo.MixedWorkload(kwo.BIDashboards(*qph), kwo.ETLPipeline(2*time.Hour, 3))
+	default:
+		log.Fatalf("unknown workload %q (bi, etl, adhoc, mixed)", *workloadName)
+	}
+
+	sim := kwo.NewSimulation(*seed)
+	wh, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name: "MAIN_WH", Size: size, MinClusters: 1, MaxClusters: *maxClusters,
+		Policy: kwo.ScaleStandard, AutoSuspend: *suspend, AutoResume: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	horizon := time.Duration(*preDays+*kwoDays+1) * 24 * time.Hour
+	var n int
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err = sim.AddTraceWorkload("MAIN_WH", f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario: trace %s (%d queries) on %s, slider %q\n\n",
+			*tracePath, n, size, slider)
+	} else {
+		n = sim.AddWorkload("MAIN_WH", gen, horizon)
+		fmt.Printf("scenario: %s workload (%d queries over %d days) on %s, slider %q\n\n",
+			*workloadName, n, *preDays+*kwoDays, size, slider)
+	}
+
+	sim.RunFor(time.Duration(*preDays) * 24 * time.Hour)
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	if err := opt.Attach("MAIN_WH", kwo.Settings{Slider: slider}); err != nil {
+		log.Fatal(err)
+	}
+	opt.Start()
+	attach := sim.Now()
+	sim.RunFor(time.Duration(*kwoDays) * 24 * time.Hour)
+
+	days, err := opt.DailySeries("MAIN_WH", sim.Start(), *preDays+*kwoDays)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("day   credits    queries  p99        phase")
+	for i, d := range days {
+		phase := "before"
+		if i >= *preDays {
+			phase = "with-KWO"
+		}
+		fmt.Printf("%-5d %-10.2f %-8d %-10v %s\n", i+1, d.Credits, d.Queries,
+			d.P99Latency.Round(100*time.Millisecond), phase)
+	}
+	fmt.Println()
+
+	rep, err := opt.Report("MAIN_WH", attach, sim.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+	fmt.Printf("\nfinal configuration: %s, clusters %d–%d, auto-suspend %v\n",
+		wh.Config().Size, wh.Config().MinClusters, wh.Config().MaxClusters, wh.Config().AutoSuspend)
+}

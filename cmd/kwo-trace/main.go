@@ -1,0 +1,123 @@
+// kwo-trace generates, inspects, and summarizes workload traces —
+// frozen JSON-lines arrival streams that make experiments exactly
+// repeatable. kwo-sim can replay a trace with -trace.
+//
+// Usage:
+//
+//	kwo-trace -gen bi -days 7 -qph 80 -out bi-week.jsonl
+//	kwo-trace -stats bi-week.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"kwo"
+	"kwo/internal/simclock"
+)
+
+func main() {
+	genName := flag.String("gen", "bi", "generator: bi, etl, adhoc, mixed")
+	days := flag.Int("days", 7, "trace length in days")
+	qph := flag.Float64("qph", 60, "workload intensity")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	stats := flag.String("stats", "", "summarize an existing trace file instead of generating")
+	flag.Parse()
+
+	if *stats != "" {
+		summarize(*stats)
+		return
+	}
+
+	var gen kwo.Generator
+	switch *genName {
+	case "bi":
+		gen = kwo.BIDashboards(*qph)
+	case "etl":
+		gen = kwo.ETLPipeline(time.Hour, 6)
+	case "adhoc":
+		gen = kwo.AdHocAnalytics(*qph / 4)
+	case "mixed":
+		gen = kwo.MixedWorkload(kwo.BIDashboards(*qph), kwo.ETLPipeline(2*time.Hour, 3))
+	default:
+		log.Fatalf("unknown generator %q", *genName)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	from := simclock.Epoch
+	to := from.Add(time.Duration(*days) * 24 * time.Hour)
+	n, err := kwo.GenerateTrace(w, gen, from, to, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d arrivals (%s, %d days, seed %d)\n", n, *genName, *days, *seed)
+}
+
+func summarize(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	arr, err := kwo.ReadTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(arr) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	first, last := arr[0].At, arr[len(arr)-1].At
+	span := last.Sub(first)
+	templates := map[uint64]int{}
+	var totalWork float64
+	var totalBytes int64
+	for _, a := range arr {
+		templates[a.Query.TemplateHash]++
+		totalWork += a.Query.Work
+		totalBytes += a.Query.BytesScanned
+	}
+	fmt.Printf("arrivals:          %d\n", len(arr))
+	fmt.Printf("span:              %s → %s (%.1f days)\n",
+		first.Format(time.RFC3339), last.Format(time.RFC3339), span.Hours()/24)
+	fmt.Printf("rate:              %.1f queries/hour average\n",
+		float64(len(arr))/span.Hours())
+	fmt.Printf("distinct templates: %d\n", len(templates))
+	fmt.Printf("total work:        %.0f XS-seconds (avg %.1fs/query)\n",
+		totalWork, totalWork/float64(len(arr)))
+	fmt.Printf("total bytes:       %.2f GiB\n", float64(totalBytes)/(1<<30))
+	// Top templates by frequency.
+	type tc struct {
+		hash uint64
+		n    int
+	}
+	var top []tc
+	for h, n := range templates {
+		top = append(top, tc{h, n})
+	}
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].n > top[i].n || (top[j].n == top[i].n && top[j].hash < top[i].hash) {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	fmt.Println("top templates (hash → executions):")
+	for i, t := range top {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %016x → %d\n", t.hash, t.n)
+	}
+}

@@ -1,0 +1,42 @@
+// Package kwo is an open reproduction of "Making Data Clouds Smarter at
+// Keebo: Automated Warehouse Optimization using Data Learning"
+// (SIGMOD-Companion 2023): a fully-automated optimizer for cloud data
+// warehouses that learns from telemetry metadata, makes real-time
+// resize / multi-cluster / auto-suspend decisions under customer
+// constraints and a single cost-performance slider, self-corrects from
+// live feedback, and prices itself as a share of the savings its
+// warehouse cost model attributes to its own actions.
+//
+// Because the paper's substrate is a commercial cloud warehouse, the
+// library ships a faithful discrete-event simulator of a Snowflake-like
+// warehouse (T-shirt sizes, per-second credit metering with a
+// 60-second resume minimum, auto-suspend/resume with cold caches,
+// multi-cluster scale-out with Standard/Economy policies). The
+// optimizer is written against the same narrow surface the real system
+// uses — ALTER-style alterations and telemetry reads — so it cannot
+// tell the simulator from the real API.
+//
+// # Quickstart
+//
+//	sim := kwo.NewSimulation(42)
+//	wh, _ := sim.CreateWarehouse(kwo.WarehouseConfig{
+//		Name: "BI_WH", Size: kwo.SizeLarge,
+//		MinClusters: 1, MaxClusters: 2,
+//		AutoSuspend: 10 * time.Minute, AutoResume: true,
+//	})
+//	sim.AddWorkload("BI_WH", kwo.BIDashboards(60))
+//
+//	opt := sim.NewOptimizer(kwo.DefaultOptions())
+//	sim.RunFor(3 * 24 * time.Hour) // let telemetry accumulate
+//	opt.Attach("BI_WH", kwo.Settings{Slider: kwo.Balanced})
+//	opt.Start()
+//	sim.RunFor(7 * 24 * time.Hour)
+//
+//	rep, _ := opt.Report("BI_WH", sim.Start().Add(3*24*time.Hour), sim.Now())
+//	fmt.Println(rep)
+//	_ = wh
+//
+// See the examples directory for complete programs, and internal/
+// experiments for the harnesses that regenerate every figure of the
+// paper's evaluation.
+package kwo

@@ -1,0 +1,73 @@
+package kwo_test
+
+import (
+	"fmt"
+	"time"
+
+	"kwo"
+)
+
+// ExampleParseSize shows the T-shirt sizing model: credits per hour
+// double with each size step.
+func ExampleParseSize() {
+	for _, name := range []string{"X-Small", "Medium", "X-Large"} {
+		s, err := kwo.ParseSize(name)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: %.0f credits/hour\n", s, s.CreditsPerHour())
+	}
+	// Output:
+	// X-Small: 1 credits/hour
+	// Medium: 4 credits/hour
+	// X-Large: 16 credits/hour
+}
+
+// ExampleRule shows a time-windowed constraint: downsizing is forbidden
+// Monday mornings 9:00–10:00.
+func ExampleRule() {
+	rule := kwo.Rule{
+		Name:        "protect Monday mornings",
+		Days:        []time.Weekday{time.Monday},
+		StartMinute: 9 * 60,
+		EndMinute:   10 * 60,
+		NoDownsize:  true,
+	}
+	monday930 := time.Date(2023, 1, 2, 9, 30, 0, 0, time.UTC)
+	tuesday930 := monday930.Add(24 * time.Hour)
+	fmt.Println(rule.ActiveAt(monday930), rule.ActiveAt(tuesday930))
+	// Output: true false
+}
+
+// ExampleSlider shows the five customer-facing positions.
+func ExampleSlider() {
+	for s := kwo.BestPerformance; s <= kwo.LowestCost; s++ {
+		fmt.Println(int(s), s)
+	}
+	// Output:
+	// 1 Best Performance
+	// 2 Good Performance
+	// 3 Balanced
+	// 4 Low Cost
+	// 5 Lowest Cost
+}
+
+// ExampleSimulation shows the minimal end-to-end flow: one warehouse,
+// one query, deterministic billing on the virtual clock.
+func ExampleSimulation() {
+	sim := kwo.NewSimulation(1)
+	sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name: "W", Size: kwo.SizeXSmall, MinClusters: 1, MaxClusters: 1,
+		AutoSuspend: time.Minute, AutoResume: true,
+	})
+	// A query that takes 60 seconds on a warm X-Small cluster.
+	sim.Submit("W", kwo.Query{Work: 60, ScaleExp: 1})
+	sim.RunFor(time.Hour)
+	stats := sim.Stats("W", sim.Start(), sim.Now())
+	fmt.Printf("queries completed: %d\n", stats.Queries)
+	fmt.Printf("billed something: %v\n", sim.TotalCredits() > 0)
+	// Output:
+	// queries completed: 1
+	// billed something: true
+}

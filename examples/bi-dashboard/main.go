@@ -1,0 +1,108 @@
+// bi-dashboard: a BI warehouse with business constraints — the paper's
+// §4.1 scenario. The admin protects Monday-to-Friday morning rush hours
+// with an enforcement rule ("9:00–9:30 the BI warehouse must be X-Large
+// with a minimum of 3 clusters") and forbids downsizing during business
+// hours; KWO optimizes freely around the rules. Midway, the customer
+// moves the slider from Balanced to Low Cost without retraining.
+//
+// Run with: go run ./examples/bi-dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kwo"
+)
+
+func main() {
+	sim := kwo.NewSimulation(7)
+	wh, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name:        "BI_WH",
+		Size:        kwo.SizeLarge,
+		MinClusters: 1,
+		MaxClusters: 4,
+		Policy:      kwo.ScaleStandard,
+		AutoSuspend: 10 * time.Minute,
+		AutoResume:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.AddWorkload("BI_WH", kwo.BIDashboards(120), 16*24*time.Hour)
+
+	// Two days of history, then onboard with hard constraints.
+	sim.RunFor(2 * 24 * time.Hour)
+
+	xl := kwo.SizeXLarge
+	threeClusters := 3
+	weekdays := []time.Weekday{time.Monday, time.Tuesday, time.Wednesday,
+		time.Thursday, time.Friday}
+	settings := kwo.Settings{
+		Slider: kwo.Balanced,
+		Constraints: kwo.Constraints{
+			{
+				Name:        "morning rush enforcement",
+				Days:        weekdays,
+				StartMinute: 9 * 60,
+				EndMinute:   9*60 + 30,
+				EnforceSize: &xl,
+				MinClusters: &threeClusters,
+			},
+			{
+				Name:        "no downsizing during business hours",
+				Days:        weekdays,
+				StartMinute: 9 * 60,
+				EndMinute:   17 * 60,
+				NoDownsize:  true,
+			},
+		},
+	}
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	if err := opt.Attach("BI_WH", settings); err != nil {
+		log.Fatal(err)
+	}
+	opt.Start()
+	attach := sim.Now()
+
+	// A week at Balanced.
+	sim.RunFor(7 * 24 * time.Hour)
+	repBalanced, _ := opt.Report("BI_WH", attach, sim.Now())
+
+	// The company enters cost-cutting mode: slide toward Low Cost. No
+	// retraining needed — the smart model re-calibrates.
+	if err := opt.SetSlider("BI_WH", kwo.LowCost); err != nil {
+		log.Fatal(err)
+	}
+	mid := sim.Now()
+	sim.RunFor(7 * 24 * time.Hour)
+	repLowCost, _ := opt.Report("BI_WH", mid, sim.Now())
+
+	fmt.Println("=== week at Balanced ===")
+	fmt.Print(repBalanced)
+	fmt.Println("\n=== week at Low Cost ===")
+	fmt.Print(repLowCost)
+
+	fmt.Println("\ndaily spend and p99 latency:")
+	days, err := opt.DailySeries("BI_WH", sim.Start(), 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range days {
+		phase := "before"
+		switch {
+		case d.Day.After(mid) || d.Day.Equal(mid):
+			phase = "low-cost"
+		case d.Day.After(attach) || d.Day.Equal(attach):
+			phase = "balanced"
+		}
+		fmt.Printf("  day %2d  %7.2f credits  p99 %6.1fs  %s\n",
+			i+1, d.Credits, d.P99Latency.Seconds(), phase)
+	}
+
+	fmt.Printf("\nfinal config: %s, clusters %d-%d, auto-suspend %v\n",
+		wh.Config().Size, wh.Config().MinClusters, wh.Config().MaxClusters,
+		wh.Config().AutoSuspend)
+	fmt.Printf("constraint enforcements applied: %d\n", repLowCost.ConstraintEvents)
+}

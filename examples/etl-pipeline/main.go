@@ -1,0 +1,90 @@
+// etl-pipeline: a predictable hourly ETL warehouse — the paper's
+// Figure 4b / Figure 6 scenario. KWO trims the idle tail after each
+// batch (auto-suspend tuning) without touching the batch latency SLA;
+// the example prints the hourly actual/overhead/savings breakdown and
+// demonstrates external-change detection when a DBA resizes the
+// warehouse by hand.
+//
+// Run with: go run ./examples/etl-pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kwo"
+)
+
+func main() {
+	sim := kwo.NewSimulation(11)
+	wh, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name:        "ETL_WH",
+		Size:        kwo.SizeMedium,
+		MinClusters: 1,
+		MaxClusters: 1,
+		AutoSuspend: 10 * time.Minute,
+		AutoResume:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hourly batches of six recurring pipeline jobs.
+	sim.AddWorkload("ETL_WH", kwo.ETLPipeline(time.Hour, 6), 12*24*time.Hour)
+
+	sim.RunFor(2 * 24 * time.Hour)
+	preDaily := wh.CreditsBetween(sim.Start(), sim.Now()) / 2
+
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	if err := opt.Attach("ETL_WH", kwo.Settings{Slider: kwo.Balanced}); err != nil {
+		log.Fatal(err)
+	}
+	opt.Start()
+	attach := sim.Now()
+	sim.RunFor(4 * 24 * time.Hour)
+
+	fmt.Printf("daily credits before Keebo: %.1f\n", preDaily)
+	kwoDaily := wh.CreditsBetween(attach.Add(2*24*time.Hour), sim.Now()) / 2
+	fmt.Printf("daily credits with Keebo:   %.1f (%.0f%% reduction)\n\n",
+		kwoDaily, 100*(1-kwoDaily/preDaily))
+
+	// Figure 6-style hourly breakdown of the most recent day.
+	fmt.Println("hour  actual   overhead  est.savings   (most recent day)")
+	hours, err := opt.HourlySeries("ETL_WH", sim.Now().Add(-24*time.Hour), 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var totActual, totOverhead, totSavings float64
+	for i, h := range hours {
+		fmt.Printf("%4d  %7.3f  %8.5f  %10.3f\n",
+			i, h.ActualCredits, h.OverheadCredits, h.EstimatedSavings)
+		totActual += h.ActualCredits
+		totOverhead += h.OverheadCredits
+		totSavings += h.EstimatedSavings
+	}
+	fmt.Printf("sum   %7.3f  %8.5f  %10.3f  (overhead is %.2f%% of actual)\n\n",
+		totActual, totOverhead, totSavings, 100*totOverhead/totActual)
+
+	// A DBA resizes the warehouse manually: KWO must detect the
+	// external change, revert to hands-off mode, and wait for the
+	// admin.
+	big := kwo.SizeXLarge
+	if err := sim.Alter("ETL_WH", kwo.Alteration{Size: &big}, "dba-bob"); err != nil {
+		log.Fatal(err)
+	}
+	sim.RunFor(time.Hour)
+	paused, _ := opt.Paused("ETL_WH")
+	fmt.Printf("after external resize by dba-bob: optimization paused = %v\n", paused)
+
+	// The admin reviews the change and tells Keebo to continue.
+	if err := opt.ResumeOptimization("ETL_WH"); err != nil {
+		log.Fatal(err)
+	}
+	sim.RunFor(24 * time.Hour)
+	paused, _ = opt.Paused("ETL_WH")
+	fmt.Printf("after admin resume: optimization paused = %v\n", paused)
+
+	rep, _ := opt.Report("ETL_WH", attach, sim.Now())
+	fmt.Println()
+	fmt.Print(rep)
+}

@@ -1,0 +1,71 @@
+// Quickstart: optimize one oversized BI warehouse and print the
+// savings report.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kwo"
+)
+
+func main() {
+	// A simulated CDW account with one warehouse. The customer has
+	// overprovisioned: dashboard queries that would fit a Small
+	// warehouse run on a Large one (8 credits/hour).
+	sim := kwo.NewSimulation(42)
+	wh, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name:        "BI_WH",
+		Size:        kwo.SizeLarge,
+		MinClusters: 1,
+		MaxClusters: 2,
+		Policy:      kwo.ScaleStandard,
+		AutoSuspend: 10 * time.Minute,
+		AutoResume:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dashboard traffic: business-hours Poisson arrivals peaking at 60
+	// queries/hour, heavily reusing the same cache-sensitive templates.
+	sim.AddWorkload("BI_WH", kwo.BIDashboards(60), 12*24*time.Hour)
+
+	// A week of history before Keebo is connected.
+	sim.RunFor(5 * 24 * time.Hour)
+	preDaily := wh.CreditsBetween(sim.Start(), sim.Now()) / 5
+
+	// Connect KWO: one slider, no constraints, everything else
+	// automatic.
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	if err := opt.Attach("BI_WH", kwo.Settings{Slider: kwo.Balanced}); err != nil {
+		log.Fatal(err)
+	}
+	opt.Start()
+	attach := sim.Now()
+	sim.RunFor(7 * 24 * time.Hour)
+
+	// Steady state after the onboarding ramp.
+	steadyFrom := attach.Add(3 * 24 * time.Hour)
+	kwoDaily := wh.CreditsBetween(steadyFrom, sim.Now()) / 4
+
+	fmt.Printf("daily credits before Keebo: %.1f\n", preDaily)
+	fmt.Printf("daily credits with Keebo:   %.1f  (%.0f%% reduction)\n",
+		kwoDaily, 100*(1-kwoDaily/preDaily))
+	fmt.Printf("final configuration: %s, auto-suspend %v\n\n",
+		wh.Config().Size, wh.Config().AutoSuspend)
+
+	rep, err := opt.Report("BI_WH", attach, sim.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+
+	fmt.Println("\nvalue-based pricing invoices:")
+	for _, inv := range opt.Invoices() {
+		fmt.Println(" ", inv)
+	}
+}

@@ -1,0 +1,60 @@
+// slider-sweep: run the identical workload under all five slider
+// positions and print the cost/performance frontier — the paper's
+// Figure 7, through the public API only.
+//
+// Run with: go run ./examples/slider-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kwo"
+)
+
+func main() {
+	sliders := []kwo.Slider{
+		kwo.BestPerformance, kwo.GoodPerformance, kwo.Balanced,
+		kwo.LowCost, kwo.LowestCost,
+	}
+	fmt.Println("pos  label               credits/day   avg lat     p99")
+	for _, s := range sliders {
+		credits, avg, p99 := runArm(s)
+		fmt.Printf("%3d  %-18s  %11.2f  %8.2fs  %6.2fs\n",
+			int(s), s, credits, avg, p99)
+	}
+	fmt.Println("\nMoving the slider toward Lowest Cost trades latency for")
+	fmt.Println("credits monotonically; every position is Pareto-efficient")
+	fmt.Println("for its latency budget (paper §7.4).")
+}
+
+// runArm executes one slider position on the shared scenario (same
+// seed → identical arrival stream) and returns steady-state daily
+// credits plus latency stats.
+func runArm(s kwo.Slider) (creditsPerDay, avgLatSecs, p99Secs float64) {
+	sim := kwo.NewSimulation(99)
+	wh, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name: "BI_WH", Size: kwo.SizeLarge, MinClusters: 1, MaxClusters: 1,
+		AutoSuspend: 10 * time.Minute, AutoResume: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.AddWorkload("BI_WH", kwo.BIDashboards(60), 8*24*time.Hour)
+
+	sim.RunFor(2 * 24 * time.Hour)
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	if err := opt.Attach("BI_WH", kwo.Settings{Slider: s}); err != nil {
+		log.Fatal(err)
+	}
+	opt.Start()
+	attach := sim.Now()
+	sim.RunFor(5 * 24 * time.Hour)
+
+	steadyFrom := attach.Add(24 * time.Hour)
+	days := sim.Now().Sub(steadyFrom).Hours() / 24
+	creditsPerDay = wh.CreditsBetween(steadyFrom, sim.Now()) / days
+	stats := sim.Stats("BI_WH", steadyFrom, sim.Now())
+	return creditsPerDay, stats.AvgLatency.Seconds(), stats.P99Latency.Seconds()
+}

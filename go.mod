@@ -1,0 +1,3 @@
+module kwo
+
+go 1.22

@@ -1,0 +1,178 @@
+// Package action defines the vocabulary of warehouse optimization
+// actions shared by the smart models (which choose them), the policy
+// layer (which filters them against customer constraints), the cost
+// model (which predicts their impact), and the actuator (which
+// translates them into ALTER WAREHOUSE statements).
+//
+// The action space covers the three optimization families of §3:
+// memory optimization (auto-suspend tuning), warehouse resizing, and
+// warehouse parallelism (multi-cluster bounds).
+package action
+
+import (
+	"fmt"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+// Kind enumerates the discrete actions a smart model can take at each
+// decision point.
+type Kind int
+
+const (
+	// NoOp leaves the warehouse untouched.
+	NoOp Kind = iota
+	// SizeUp grows the warehouse one T-shirt size.
+	SizeUp
+	// SizeDown shrinks the warehouse one T-shirt size.
+	SizeDown
+	// ClustersUp raises the multi-cluster maximum by one.
+	ClustersUp
+	// ClustersDown lowers the multi-cluster maximum by one.
+	ClustersDown
+	// SuspendShorter halves the auto-suspend interval.
+	SuspendShorter
+	// SuspendLonger doubles the auto-suspend interval.
+	SuspendLonger
+	// PolicyEconomy switches multi-cluster scale-out to the Economy
+	// policy (keep clusters loaded; cheaper, may queue).
+	PolicyEconomy
+	// PolicyStandard switches scale-out to the Standard policy
+	// (prevent queueing by scaling out aggressively).
+	PolicyStandard
+
+	// NumKinds is the size of the action space (for Q-networks).
+	NumKinds int = iota
+)
+
+var kindNames = [...]string{
+	"no-op", "size-up", "size-down", "clusters-up", "clusters-down",
+	"suspend-shorter", "suspend-longer", "policy-economy", "policy-standard",
+}
+
+// String returns a stable lowercase name.
+func (k Kind) String() string {
+	if int(k) < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// All returns every action kind in order.
+func All() []Kind {
+	out := make([]Kind, NumKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Auto-suspend bounds for the suspend ladder.
+const (
+	MinAutoSuspend = 30 * time.Second
+	MaxAutoSuspend = 60 * time.Minute
+)
+
+// Action is one concrete decision for one warehouse.
+type Action struct {
+	Kind      Kind
+	Warehouse string
+	// Reverts marks a self-correction that undoes a previous action;
+	// it bypasses cost-driven filtering but still honours constraints.
+	Reverts bool
+}
+
+// Target computes the configuration this action aims for, starting from
+// cur. The result is clamped to valid ranges; an action that cannot
+// move the configuration (already at a bound) returns cur unchanged.
+func (a Action) Target(cur cdw.Config) cdw.Config {
+	next := cur
+	switch a.Kind {
+	case SizeUp:
+		next.Size = cur.Size.Up()
+	case SizeDown:
+		next.Size = cur.Size.Down()
+	case ClustersUp:
+		next.MaxClusters = cur.MaxClusters + 1
+	case ClustersDown:
+		if cur.MaxClusters > 1 {
+			next.MaxClusters = cur.MaxClusters - 1
+		}
+		if next.MinClusters > next.MaxClusters {
+			next.MinClusters = next.MaxClusters
+		}
+	case SuspendShorter:
+		next.AutoSuspend = clampSuspend(cur.AutoSuspend / 2)
+	case SuspendLonger:
+		next.AutoSuspend = clampSuspend(cur.AutoSuspend * 2)
+	case PolicyEconomy:
+		next.Policy = cdw.ScaleEconomy
+	case PolicyStandard:
+		next.Policy = cdw.ScaleStandard
+	}
+	return next
+}
+
+// Alteration renders the action as the partial ALTER statement moving
+// cur to the action's target. A no-effect action returns a zero
+// Alteration.
+func (a Action) Alteration(cur cdw.Config) cdw.Alteration {
+	next := a.Target(cur)
+	var alt cdw.Alteration
+	if next.Size != cur.Size {
+		alt.Size = cdw.SizeP(next.Size)
+	}
+	if next.MaxClusters != cur.MaxClusters {
+		alt.MaxClusters = cdw.IntP(next.MaxClusters)
+	}
+	if next.MinClusters != cur.MinClusters {
+		alt.MinClusters = cdw.IntP(next.MinClusters)
+	}
+	if next.AutoSuspend != cur.AutoSuspend {
+		alt.AutoSuspend = cdw.DurationP(next.AutoSuspend)
+	}
+	if next.Policy != cur.Policy {
+		alt.Policy = cdw.PolicyP(next.Policy)
+	}
+	return alt
+}
+
+// Effective reports whether the action changes the configuration.
+func (a Action) Effective(cur cdw.Config) bool {
+	return !a.Alteration(cur).IsZero()
+}
+
+func clampSuspend(d time.Duration) time.Duration {
+	if d < MinAutoSuspend {
+		return MinAutoSuspend
+	}
+	if d > MaxAutoSuspend {
+		return MaxAutoSuspend
+	}
+	return d
+}
+
+// Inverse returns the action kind that undoes k (NoOp for NoOp).
+func (k Kind) Inverse() Kind {
+	switch k {
+	case SizeUp:
+		return SizeDown
+	case SizeDown:
+		return SizeUp
+	case ClustersUp:
+		return ClustersDown
+	case ClustersDown:
+		return ClustersUp
+	case SuspendShorter:
+		return SuspendLonger
+	case SuspendLonger:
+		return SuspendShorter
+	case PolicyEconomy:
+		return PolicyStandard
+	case PolicyStandard:
+		return PolicyEconomy
+	default:
+		return NoOp
+	}
+}

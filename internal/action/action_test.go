@@ -1,0 +1,167 @@
+package action
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+func cfg() cdw.Config {
+	return cdw.Config{
+		Name: "W", Size: cdw.SizeMedium, MinClusters: 1, MaxClusters: 3,
+		AutoSuspend: 5 * time.Minute, AutoResume: true,
+	}
+}
+
+func TestTargets(t *testing.T) {
+	c := cfg()
+	cases := []struct {
+		kind  Kind
+		check func(cdw.Config) bool
+	}{
+		{NoOp, func(n cdw.Config) bool { return n == c }},
+		{SizeUp, func(n cdw.Config) bool { return n.Size == cdw.SizeLarge }},
+		{SizeDown, func(n cdw.Config) bool { return n.Size == cdw.SizeSmall }},
+		{ClustersUp, func(n cdw.Config) bool { return n.MaxClusters == 4 }},
+		{ClustersDown, func(n cdw.Config) bool { return n.MaxClusters == 2 }},
+		{SuspendShorter, func(n cdw.Config) bool { return n.AutoSuspend == 150*time.Second }},
+		{SuspendLonger, func(n cdw.Config) bool { return n.AutoSuspend == 10*time.Minute }},
+	}
+	for _, tc := range cases {
+		got := Action{Kind: tc.kind}.Target(c)
+		if !tc.check(got) {
+			t.Errorf("%v target = %+v", tc.kind, got)
+		}
+	}
+}
+
+func TestTargetClamps(t *testing.T) {
+	c := cfg()
+	c.Size = cdw.MaxSize
+	if got := (Action{Kind: SizeUp}).Target(c); got.Size != cdw.MaxSize {
+		t.Error("SizeUp past max not clamped")
+	}
+	c.Size = cdw.MinSize
+	if got := (Action{Kind: SizeDown}).Target(c); got.Size != cdw.MinSize {
+		t.Error("SizeDown past min not clamped")
+	}
+	c.AutoSuspend = MinAutoSuspend
+	if got := (Action{Kind: SuspendShorter}).Target(c); got.AutoSuspend != MinAutoSuspend {
+		t.Error("SuspendShorter past floor not clamped")
+	}
+	c.AutoSuspend = MaxAutoSuspend
+	if got := (Action{Kind: SuspendLonger}).Target(c); got.AutoSuspend != MaxAutoSuspend {
+		t.Error("SuspendLonger past ceiling not clamped")
+	}
+	c.MaxClusters = 1
+	c.MinClusters = 1
+	if got := (Action{Kind: ClustersDown}).Target(c); got.MaxClusters != 1 {
+		t.Error("ClustersDown below 1 not clamped")
+	}
+}
+
+func TestClustersDownDragsMin(t *testing.T) {
+	c := cfg()
+	c.MinClusters = 3
+	c.MaxClusters = 3
+	got := Action{Kind: ClustersDown}.Target(c)
+	if got.MaxClusters != 2 || got.MinClusters != 2 {
+		t.Fatalf("min/max = %d/%d, want 2/2", got.MinClusters, got.MaxClusters)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("target invalid: %v", err)
+	}
+}
+
+func TestAlterationAndEffective(t *testing.T) {
+	c := cfg()
+	a := Action{Kind: SizeDown}
+	alt := a.Alteration(c)
+	if alt.Size == nil || *alt.Size != cdw.SizeSmall {
+		t.Fatalf("alteration = %+v", alt)
+	}
+	if !a.Effective(c) {
+		t.Fatal("size-down not effective")
+	}
+	if (Action{Kind: NoOp}).Effective(c) {
+		t.Fatal("no-op effective")
+	}
+	// Clamped action at the bound is not effective.
+	c.Size = cdw.MinSize
+	if (Action{Kind: SizeDown}).Effective(c) {
+		t.Fatal("clamped size-down claimed effective")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for _, k := range All() {
+		inv := k.Inverse()
+		if k == NoOp {
+			if inv != NoOp {
+				t.Fatal("NoOp inverse wrong")
+			}
+			continue
+		}
+		if inv.Inverse() != k {
+			t.Fatalf("%v inverse not involutive", k)
+		}
+		if inv == k {
+			t.Fatalf("%v is its own inverse", k)
+		}
+	}
+}
+
+func TestAllAndNames(t *testing.T) {
+	ks := All()
+	if len(ks) != NumKinds || NumKinds != 9 {
+		t.Fatalf("NumKinds = %d, len(All) = %d", NumKinds, len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		n := k.String()
+		if n == "" || seen[n] {
+			t.Fatalf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("out-of-range name empty")
+	}
+}
+
+// Property: any action applied to a valid config yields a valid config.
+func TestPropertyTargetsValid(t *testing.T) {
+	f := func(kind uint8, size uint8, minC, maxC uint8, susp uint16) bool {
+		c := cdw.Config{
+			Name:        "W",
+			Size:        cdw.Size(size % 10),
+			MinClusters: int(minC%5) + 1,
+			AutoSuspend: time.Duration(susp) * time.Second,
+			AutoResume:  true,
+		}
+		c.MaxClusters = c.MinClusters + int(maxC%5)
+		if c.Validate() != nil {
+			return true
+		}
+		a := Action{Kind: Kind(int(kind) % NumKinds)}
+		return a.Target(c).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: applying an action's alteration through cdw.Alteration.Apply
+// reproduces the action's target.
+func TestPropertyAlterationMatchesTarget(t *testing.T) {
+	f := func(kind uint8) bool {
+		c := cfg()
+		a := Action{Kind: Kind(int(kind) % NumKinds)}
+		return a.Alteration(c).Apply(c) == a.Target(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package actuator translates smart-model actions into the underlying
+// CDW's API and executes them (§4.5). It is the abstraction layer that
+// hides vendor-specific details from the smart models: actions go in,
+// ALTER WAREHOUSE statements come out, and every execution (or failure)
+// is recorded. It also meters its own (small) cost, which Figure 6
+// reports as "Keebo overhead".
+package actuator
+
+import (
+	"fmt"
+	"time"
+
+	"kwo/internal/action"
+	"kwo/internal/cdw"
+)
+
+// Actor is the identity under which KWO alters warehouses; the monitor
+// uses it to tell KWO's own changes apart from external ones.
+const Actor = "kwo"
+
+// Record is one row of the action log.
+type Record struct {
+	Time      time.Time
+	Action    action.Action
+	Statement string
+	Applied   bool   // false for no-effect or failed actions
+	Err       string // non-empty on failure
+	Reason    string // free-text: "smart-model", "revert", "constraint", ...
+}
+
+// Actuator executes actions against a simulated account.
+type Actuator struct {
+	acct *cdw.Account
+	// OverheadPerOp is the credit cost KWO's own operations incur
+	// (metadata queries, ALTER statements). The paper engineers this
+	// to be negligible; it is metered so Figure 6 can prove it.
+	OverheadPerOp float64
+	log           []Record
+}
+
+// New creates an actuator bound to an account.
+func New(acct *cdw.Account, overheadPerOp float64) *Actuator {
+	return &Actuator{acct: acct, OverheadPerOp: overheadPerOp}
+}
+
+// Apply executes a smart-model action. No-effect actions (clamped at a
+// bound, or NoOp) are logged but not sent to the warehouse, so they
+// cost nothing. Returns whether the action changed anything.
+func (a *Actuator) Apply(act action.Action, reason string) (bool, error) {
+	now := a.acct.Scheduler().Now()
+	rec := Record{Time: now, Action: act, Reason: reason}
+	if act.Kind == action.NoOp {
+		a.log = append(a.log, rec)
+		return false, nil
+	}
+	wh, err := a.acct.Warehouse(act.Warehouse)
+	if err != nil {
+		rec.Err = err.Error()
+		a.log = append(a.log, rec)
+		return false, err
+	}
+	alt := act.Alteration(wh.Config())
+	if alt.IsZero() {
+		a.log = append(a.log, rec)
+		return false, nil
+	}
+	rec.Statement = alt.String()
+	a.acct.RecordOverhead(a.OverheadPerOp, "actuator:"+act.Kind.String())
+	if err := a.acct.Alter(act.Warehouse, alt, Actor); err != nil {
+		rec.Err = err.Error()
+		a.log = append(a.log, rec)
+		return false, fmt.Errorf("actuator: apply %v to %s: %w", act.Kind, act.Warehouse, err)
+	}
+	rec.Applied = true
+	a.log = append(a.log, rec)
+	return true, nil
+}
+
+// ApplyAlteration executes a raw alteration (constraint enforcement or
+// a revert to a remembered configuration).
+func (a *Actuator) ApplyAlteration(warehouse string, alt cdw.Alteration, reason string) error {
+	now := a.acct.Scheduler().Now()
+	rec := Record{
+		Time:      now,
+		Action:    action.Action{Kind: action.NoOp, Warehouse: warehouse},
+		Statement: alt.String(),
+		Reason:    reason,
+	}
+	if alt.IsZero() {
+		a.log = append(a.log, rec)
+		return nil
+	}
+	a.acct.RecordOverhead(a.OverheadPerOp, "actuator:"+reason)
+	if err := a.acct.Alter(warehouse, alt, Actor); err != nil {
+		rec.Err = err.Error()
+		a.log = append(a.log, rec)
+		return fmt.Errorf("actuator: %s on %s: %w", reason, warehouse, err)
+	}
+	rec.Applied = true
+	a.log = append(a.log, rec)
+	return nil
+}
+
+// MeterTelemetryPull records the cost of one telemetry collection pass.
+// Per §7.3, telemetry is obtained by "leveraging running warehouses ...
+// without waking them" and by combining multiple queries into one, so
+// the cost is a small constant.
+func (a *Actuator) MeterTelemetryPull() {
+	a.acct.RecordOverhead(a.OverheadPerOp, "telemetry-pull")
+}
+
+// Log returns a copy of the action log.
+func (a *Actuator) Log() []Record {
+	out := make([]Record, len(a.log))
+	copy(out, a.log)
+	return out
+}
+
+// AppliedCount returns how many log entries actually changed the
+// warehouse.
+func (a *Actuator) AppliedCount() int {
+	n := 0
+	for _, r := range a.log {
+		if r.Applied {
+			n++
+		}
+	}
+	return n
+}

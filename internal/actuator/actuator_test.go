@@ -1,0 +1,109 @@
+package actuator
+
+import (
+	"testing"
+	"time"
+
+	"kwo/internal/action"
+	"kwo/internal/cdw"
+	"kwo/internal/simclock"
+)
+
+func rig(t *testing.T) (*simclock.Scheduler, *cdw.Account, *Actuator) {
+	t.Helper()
+	sched := simclock.NewScheduler(1)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	_, err := acct.CreateWarehouse(cdw.Config{
+		Name: "W", Size: cdw.SizeMedium, MinClusters: 1, MaxClusters: 3,
+		AutoSuspend: 5 * time.Minute, AutoResume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, acct, New(acct, 0.001)
+}
+
+func TestApplyChangesConfig(t *testing.T) {
+	_, acct, act := rig(t)
+	applied, err := act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "smart-model")
+	if err != nil || !applied {
+		t.Fatalf("apply: applied=%v err=%v", applied, err)
+	}
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size != cdw.SizeSmall {
+		t.Fatalf("size = %v after size-down", wh.Config().Size)
+	}
+	chs := acct.Changes()
+	if len(chs) != 1 || chs[0].Actor != Actor {
+		t.Fatalf("change log = %+v", chs)
+	}
+	if act.AppliedCount() != 1 {
+		t.Fatalf("applied count = %d", act.AppliedCount())
+	}
+}
+
+func TestNoOpAndClampedNotSent(t *testing.T) {
+	_, acct, act := rig(t)
+	if applied, err := act.Apply(action.Action{Kind: action.NoOp, Warehouse: "W"}, "x"); err != nil || applied {
+		t.Fatalf("no-op: applied=%v err=%v", applied, err)
+	}
+	// Drive size to the floor, then another size-down is a no-effect.
+	act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "x")
+	act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "x")
+	applied, err := act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "x")
+	if err != nil || applied {
+		t.Fatalf("clamped action applied: %v %v", applied, err)
+	}
+	if len(acct.Changes()) != 2 {
+		t.Fatalf("changes = %d, want 2", len(acct.Changes()))
+	}
+	if got := len(act.Log()); got != 4 {
+		t.Fatalf("log rows = %d, want 4 (every attempt logged)", got)
+	}
+}
+
+func TestApplyUnknownWarehouse(t *testing.T) {
+	_, _, act := rig(t)
+	applied, err := act.Apply(action.Action{Kind: action.SizeUp, Warehouse: "NOPE"}, "x")
+	if err == nil || applied {
+		t.Fatal("unknown warehouse accepted")
+	}
+	log := act.Log()
+	if log[len(log)-1].Err == "" {
+		t.Fatal("error not recorded in log")
+	}
+}
+
+func TestOverheadMetered(t *testing.T) {
+	sched, acct, act := rig(t)
+	act.Apply(action.Action{Kind: action.SizeUp, Warehouse: "W"}, "x")
+	act.MeterTelemetryPull()
+	got := acct.OverheadBetween(simclock.Epoch, sched.Now().Add(time.Second))
+	if got != 0.002 {
+		t.Fatalf("overhead = %v, want 0.002", got)
+	}
+}
+
+func TestApplyAlteration(t *testing.T) {
+	_, acct, act := rig(t)
+	alt := cdw.Alteration{Size: cdw.SizeP(cdw.SizeXLarge), MinClusters: cdw.IntP(2)}
+	if err := act.ApplyAlteration("W", alt, "constraint"); err != nil {
+		t.Fatal(err)
+	}
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size != cdw.SizeXLarge || wh.Config().MinClusters != 2 {
+		t.Fatalf("config = %+v", wh.Config())
+	}
+	// Zero alteration is logged but free.
+	if err := act.ApplyAlteration("W", cdw.Alteration{}, "noop"); err != nil {
+		t.Fatal(err)
+	}
+	if got := acct.OverheadBetween(simclock.Epoch, simclock.Epoch.Add(time.Hour)); got != 0.001 {
+		t.Fatalf("overhead = %v, want 0.001 (one real op)", got)
+	}
+	// Invalid alteration surfaces the warehouse error.
+	bad := cdw.Alteration{MinClusters: cdw.IntP(9), MaxClusters: cdw.IntP(1)}
+	if err := act.ApplyAlteration("W", bad, "bad"); err == nil {
+		t.Fatal("invalid alteration accepted")
+	}
+}

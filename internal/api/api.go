@@ -1,0 +1,667 @@
+// Package api implements KWO's programmatic API service (§4.1): a JSON
+// HTTP interface exposing the dashboards' KPIs, the per-warehouse
+// slider, the constraint rules, invoices, and the action audit trail.
+// The web portal is a thin client of this API; here the API is the
+// deliverable and cmd/kwo-portal serves it over a live simulation.
+//
+// All handlers are safe for concurrent use: the server serializes
+// access to the underlying (single-threaded, virtual-time) engine with
+// one mutex, and an optional Advance hook lets the host move virtual
+// time forward before each request is served.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/consolidate"
+	"kwo/internal/core"
+	"kwo/internal/policy"
+	"kwo/internal/pricing"
+)
+
+// Backend is what the API serves: the engine plus account access. It is
+// implemented by the facade's Simulation+Optimizer pair.
+type Backend struct {
+	Engine *core.Engine
+	Acct   *cdw.Account
+	// Advance, if non-nil, is called before each request to move
+	// virtual time (e.g. in lock-step with wall time).
+	Advance func()
+}
+
+// Server is the HTTP API service.
+type Server struct {
+	mu  sync.Mutex
+	b   Backend
+	mux *http.ServeMux
+}
+
+// NewServer builds the API service over a backend.
+func NewServer(b Backend) *Server {
+	s := &Server{b: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /api/v1/warehouses", s.handleWarehouses)
+	s.mux.HandleFunc("GET /api/v1/warehouses/{name}", s.handleWarehouse)
+	s.mux.HandleFunc("GET /api/v1/warehouses/{name}/report", s.handleReport)
+	s.mux.HandleFunc("GET /api/v1/warehouses/{name}/daily", s.handleDaily)
+	s.mux.HandleFunc("GET /api/v1/warehouses/{name}/hourly", s.handleHourly)
+	s.mux.HandleFunc("PUT /api/v1/warehouses/{name}/slider", s.handleSetSlider)
+	s.mux.HandleFunc("GET /api/v1/warehouses/{name}/slider", s.handleGetSlider)
+	s.mux.HandleFunc("PUT /api/v1/warehouses/{name}/constraints", s.handleSetConstraints)
+	s.mux.HandleFunc("GET /api/v1/warehouses/{name}/constraints", s.handleGetConstraints)
+	s.mux.HandleFunc("POST /api/v1/warehouses/{name}/resume-optimization", s.handleResume)
+	s.mux.HandleFunc("GET /api/v1/warehouses/{name}/what-if", s.handleWhatIf)
+	s.mux.HandleFunc("GET /api/v1/consolidation", s.handleConsolidation)
+	s.mux.HandleFunc("GET /api/v1/invoices", s.handleInvoices)
+	s.mux.HandleFunc("GET /api/v1/actions", s.handleActions)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.b.Advance != nil {
+		s.b.Advance()
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- wire types -------------------------------------------------------
+
+// WarehouseInfo is the JSON view of one warehouse.
+type WarehouseInfo struct {
+	Name        string `json:"name"`
+	Size        string `json:"size"`
+	MinClusters int    `json:"min_clusters"`
+	MaxClusters int    `json:"max_clusters"`
+	Policy      string `json:"scaling_policy"`
+	AutoSuspend string `json:"auto_suspend"`
+	AutoResume  bool   `json:"auto_resume"`
+	Running     bool   `json:"running"`
+	Clusters    int    `json:"active_clusters"`
+	Attached    bool   `json:"optimization_attached"`
+	Paused      bool   `json:"optimization_paused"`
+	Slider      int    `json:"slider,omitempty"`
+	SliderLabel string `json:"slider_label,omitempty"`
+}
+
+// ReportJSON is the JSON view of a core.Report.
+type ReportJSON struct {
+	Warehouse        string  `json:"warehouse"`
+	From             string  `json:"from"`
+	To               string  `json:"to"`
+	ActualCredits    float64 `json:"actual_credits"`
+	WithoutKeebo     float64 `json:"without_keebo_credits"`
+	Savings          float64 `json:"savings_credits"`
+	SavingsPercent   float64 `json:"savings_percent"`
+	OverheadCredits  float64 `json:"overhead_credits"`
+	Queries          int     `json:"queries"`
+	CostPerQuery     float64 `json:"cost_per_query"`
+	AvgLatencyMS     int64   `json:"avg_latency_ms"`
+	P99LatencyMS     int64   `json:"p99_latency_ms"`
+	P99QueueMS       int64   `json:"p99_queue_ms"`
+	ActionsApplied   int     `json:"actions_applied"`
+	Reverts          int     `json:"reverts"`
+	ConstraintEvents int     `json:"constraint_events"`
+}
+
+// RuleJSON is the JSON form of a constraint rule.
+type RuleJSON struct {
+	Name        string `json:"name"`
+	Days        []int  `json:"days,omitempty"` // 0=Sunday … 6=Saturday
+	StartMinute int    `json:"start_minute"`
+	EndMinute   int    `json:"end_minute"`
+	NoDownsize  bool   `json:"no_downsize,omitempty"`
+	NoUpsize    bool   `json:"no_upsize,omitempty"`
+	NoSuspend   bool   `json:"no_suspend_change,omitempty"`
+	NoClusters  bool   `json:"no_cluster_change,omitempty"`
+	MinSize     string `json:"min_size,omitempty"`
+	MaxSize     string `json:"max_size,omitempty"`
+	MinClusters int    `json:"min_clusters,omitempty"`
+	EnforceSize string `json:"enforce_size,omitempty"`
+}
+
+// ActionJSON is one row of the action audit log.
+type ActionJSON struct {
+	Time      string `json:"time"`
+	Warehouse string `json:"warehouse"`
+	Kind      string `json:"kind"`
+	Statement string `json:"statement,omitempty"`
+	Applied   bool   `json:"applied"`
+	Reason    string `json:"reason"`
+	Error     string `json:"error,omitempty"`
+}
+
+// InvoiceJSON is one value-based-pricing statement.
+type InvoiceJSON struct {
+	Warehouse      string  `json:"warehouse"`
+	From           string  `json:"from"`
+	To             string  `json:"to"`
+	ActualCredits  float64 `json:"actual_credits"`
+	WithoutKeebo   float64 `json:"without_keebo_credits"`
+	Savings        float64 `json:"savings_credits"`
+	SavingsPercent float64 `json:"savings_percent"`
+	Rate           float64 `json:"rate"`
+	Charge         float64 `json:"charge_credits"`
+}
+
+// --- helpers ----------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseTime accepts RFC3339 or a duration relative to now ("-24h").
+func (s *Server) parseTime(val string, def time.Time) (time.Time, error) {
+	if val == "" {
+		return def, nil
+	}
+	if strings.HasPrefix(val, "-") || strings.HasPrefix(val, "+") {
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return time.Time{}, err
+		}
+		return s.b.Acct.Scheduler().Now().Add(d), nil
+	}
+	return time.Parse(time.RFC3339, val)
+}
+
+func reportJSON(r core.Report) ReportJSON {
+	return ReportJSON{
+		Warehouse:        r.Warehouse,
+		From:             r.From.Format(time.RFC3339),
+		To:               r.To.Format(time.RFC3339),
+		ActualCredits:    r.ActualCredits,
+		WithoutKeebo:     r.WithoutKeebo,
+		Savings:          r.Savings,
+		SavingsPercent:   r.SavingsPercent,
+		OverheadCredits:  r.OverheadCredits,
+		Queries:          r.Queries,
+		CostPerQuery:     r.CostPerQuery,
+		AvgLatencyMS:     r.AvgLatency.Milliseconds(),
+		P99LatencyMS:     r.P99Latency.Milliseconds(),
+		P99QueueMS:       r.P99Queue.Milliseconds(),
+		ActionsApplied:   r.ActionsApplied,
+		Reverts:          r.Reverts,
+		ConstraintEvents: r.ConstraintEvents,
+	}
+}
+
+func invoiceJSON(inv pricing.Invoice) InvoiceJSON {
+	return InvoiceJSON{
+		Warehouse:      inv.Warehouse,
+		From:           inv.From.Format(time.RFC3339),
+		To:             inv.To.Format(time.RFC3339),
+		ActualCredits:  inv.ActualCredits,
+		WithoutKeebo:   inv.EstimatedWithoutKeebo,
+		Savings:        inv.Savings,
+		SavingsPercent: inv.SavingsPercent(),
+		Rate:           inv.Rate,
+		Charge:         inv.Charge,
+	}
+}
+
+// ruleToJSON converts a policy rule to wire form.
+func ruleToJSON(r policy.Rule) RuleJSON {
+	out := RuleJSON{
+		Name:        r.Name,
+		StartMinute: r.StartMinute,
+		EndMinute:   r.EndMinute,
+		NoDownsize:  r.NoDownsize,
+		NoUpsize:    r.NoUpsize,
+		NoSuspend:   r.NoSuspendChange,
+		NoClusters:  r.NoClusterChange,
+	}
+	for _, d := range r.Days {
+		out.Days = append(out.Days, int(d))
+	}
+	if r.MinSize != nil {
+		out.MinSize = r.MinSize.String()
+	}
+	if r.MaxSize != nil {
+		out.MaxSize = r.MaxSize.String()
+	}
+	if r.MinClusters != nil {
+		out.MinClusters = *r.MinClusters
+	}
+	if r.EnforceSize != nil {
+		out.EnforceSize = r.EnforceSize.String()
+	}
+	return out
+}
+
+// ruleFromJSON parses the wire form back to a policy rule.
+func ruleFromJSON(in RuleJSON) (policy.Rule, error) {
+	r := policy.Rule{
+		Name:            in.Name,
+		StartMinute:     in.StartMinute,
+		EndMinute:       in.EndMinute,
+		NoDownsize:      in.NoDownsize,
+		NoUpsize:        in.NoUpsize,
+		NoSuspendChange: in.NoSuspend,
+		NoClusterChange: in.NoClusters,
+	}
+	for _, d := range in.Days {
+		if d < 0 || d > 6 {
+			return r, fmt.Errorf("day %d out of range 0..6", d)
+		}
+		r.Days = append(r.Days, time.Weekday(d))
+	}
+	parse := func(name string) (*cdw.Size, error) {
+		if name == "" {
+			return nil, nil
+		}
+		sz, err := cdw.ParseSize(name)
+		if err != nil {
+			return nil, err
+		}
+		return &sz, nil
+	}
+	var err error
+	if r.MinSize, err = parse(in.MinSize); err != nil {
+		return r, err
+	}
+	if r.MaxSize, err = parse(in.MaxSize); err != nil {
+		return r, err
+	}
+	if r.EnforceSize, err = parse(in.EnforceSize); err != nil {
+		return r, err
+	}
+	if in.MinClusters > 0 {
+		mc := in.MinClusters
+		r.MinClusters = &mc
+	}
+	return r, r.Validate()
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"virtual_time":        s.b.Acct.Scheduler().Now().Format(time.RFC3339),
+		"warehouses":          len(s.b.Acct.WarehouseNames()),
+		"attached_warehouses": len(s.b.Engine.Warehouses()),
+		"total_credits":       s.b.Acct.TotalCredits(),
+		"total_savings":       s.b.Engine.Ledger().TotalSavings(),
+	})
+}
+
+func (s *Server) warehouseInfo(name string) (WarehouseInfo, error) {
+	wh, err := s.b.Acct.Warehouse(name)
+	if err != nil {
+		return WarehouseInfo{}, err
+	}
+	cfg := wh.Config()
+	info := WarehouseInfo{
+		Name:        cfg.Name,
+		Size:        cfg.Size.String(),
+		MinClusters: cfg.MinClusters,
+		MaxClusters: cfg.MaxClusters,
+		Policy:      cfg.Policy.String(),
+		AutoSuspend: cfg.AutoSuspend.String(),
+		AutoResume:  cfg.AutoResume,
+		Running:     wh.Running(),
+		Clusters:    wh.ActiveClusters(),
+	}
+	if sm, err := s.b.Engine.Model(name); err == nil {
+		info.Attached = true
+		info.Paused = sm.Paused()
+		info.Slider = int(sm.Settings().Slider)
+		info.SliderLabel = sm.Settings().Slider.String()
+	}
+	return info, nil
+}
+
+func (s *Server) handleWarehouses(w http.ResponseWriter, r *http.Request) {
+	var out []WarehouseInfo
+	for _, name := range s.b.Acct.WarehouseNames() {
+		info, err := s.warehouseInfo(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleWarehouse(w http.ResponseWriter, r *http.Request) {
+	info, err := s.warehouseInfo(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	now := s.b.Acct.Scheduler().Now()
+	from, err := s.parseTime(r.URL.Query().Get("from"), now.Add(-24*time.Hour))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	to, err := s.parseTime(r.URL.Query().Get("to"), now)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad to: %v", err)
+		return
+	}
+	rep, err := s.b.Engine.Report(name, from, to)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reportJSON(rep))
+}
+
+func (s *Server) handleDaily(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	now := s.b.Acct.Scheduler().Now()
+	days := 7
+	if v := r.URL.Query().Get("days"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 1 || d > 366 {
+			writeErr(w, http.StatusBadRequest, "bad days %q", v)
+			return
+		}
+		days = d
+	}
+	from, err := s.parseTime(r.URL.Query().Get("from"),
+		now.Add(-time.Duration(days)*24*time.Hour))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	rows, err := s.b.Engine.DailySeries(name, from, days)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	type dayJSON struct {
+		Day          string  `json:"day"`
+		Credits      float64 `json:"credits"`
+		Queries      int     `json:"queries"`
+		AvgLatencyMS int64   `json:"avg_latency_ms"`
+		P99LatencyMS int64   `json:"p99_latency_ms"`
+	}
+	out := make([]dayJSON, 0, len(rows))
+	for _, d := range rows {
+		out = append(out, dayJSON{
+			Day: d.Day.Format("2006-01-02"), Credits: d.Credits, Queries: d.Queries,
+			AvgLatencyMS: d.AvgLatency.Milliseconds(), P99LatencyMS: d.P99Latency.Milliseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHourly(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	now := s.b.Acct.Scheduler().Now()
+	hours := 24
+	if v := r.URL.Query().Get("hours"); v != "" {
+		h, err := strconv.Atoi(v)
+		if err != nil || h < 1 || h > 24*31 {
+			writeErr(w, http.StatusBadRequest, "bad hours %q", v)
+			return
+		}
+		hours = h
+	}
+	from, err := s.parseTime(r.URL.Query().Get("from"),
+		now.Add(-time.Duration(hours)*time.Hour))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	rows, err := s.b.Engine.HourlySeries(name, from, hours)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	type hourJSON struct {
+		Hour     string  `json:"hour"`
+		Actual   float64 `json:"actual_credits"`
+		Overhead float64 `json:"overhead_credits"`
+		Savings  float64 `json:"estimated_savings"`
+	}
+	out := make([]hourJSON, 0, len(rows))
+	for _, h := range rows {
+		out = append(out, hourJSON{
+			Hour: h.Hour.Format(time.RFC3339), Actual: h.ActualCredits,
+			Overhead: h.OverheadCredits, Savings: h.EstimatedSavings,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSlider(w http.ResponseWriter, r *http.Request) {
+	sm, err := s.b.Engine.Model(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"position": int(sm.Settings().Slider),
+		"label":    sm.Settings().Slider.String(),
+	})
+}
+
+func (s *Server) handleSetSlider(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Position int `json:"position"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	slider := policy.Slider(body.Position)
+	if !slider.Valid() {
+		writeErr(w, http.StatusBadRequest, "slider position %d out of range 1..5", body.Position)
+		return
+	}
+	sm, err := s.b.Engine.Model(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	sm.SetSlider(slider)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"position": body.Position, "label": slider.String(),
+	})
+}
+
+func (s *Server) handleGetConstraints(w http.ResponseWriter, r *http.Request) {
+	sm, err := s.b.Engine.Model(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	out := []RuleJSON{}
+	for _, rule := range sm.Settings().Constraints {
+		out = append(out, ruleToJSON(rule))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSetConstraints(w http.ResponseWriter, r *http.Request) {
+	var body []RuleJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	var cs policy.Constraints
+	for i, rj := range body {
+		rule, err := ruleFromJSON(rj)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "rule %d: %v", i, err)
+			return
+		}
+		cs = append(cs, rule)
+	}
+	sm, err := s.b.Engine.Model(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	sm.SetConstraints(cs)
+	writeJSON(w, http.StatusOK, map[string]any{"rules": len(cs)})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sm, err := s.b.Engine.Model(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	wh, err := s.b.Acct.Warehouse(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	sm.ResumeOptimization(wh.Config())
+	writeJSON(w, http.StatusOK, map[string]any{"paused": sm.Paused()})
+}
+
+// handleWhatIf projects an alternative slider over a recorded window
+// in a sandbox fork.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	pos, err := strconv.Atoi(r.URL.Query().Get("slider"))
+	if err != nil || !policy.Slider(pos).Valid() {
+		writeErr(w, http.StatusBadRequest, "need ?slider=1..5")
+		return
+	}
+	now := s.b.Acct.Scheduler().Now()
+	from, err := s.parseTime(r.URL.Query().Get("from"), now.Add(-24*time.Hour))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	to, err := s.parseTime(r.URL.Query().Get("to"), now)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad to: %v", err)
+		return
+	}
+	res, err := s.b.Engine.WhatIf(name, core.WarehouseSettings{Slider: policy.Slider(pos)}, from, to)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"warehouse":       res.Warehouse,
+		"from":            res.From.Format(time.RFC3339),
+		"to":              res.To.Format(time.RFC3339),
+		"queries":         res.Queries,
+		"live_credits":    res.LiveCredits,
+		"sandbox_credits": res.SandboxCredits,
+		"live_p99_s":      res.LiveP99,
+		"sandbox_p99_s":   res.SandboxP99,
+	})
+}
+
+// handleConsolidation runs the warehouse-consolidation analysis over
+// the comma-separated ?warehouses= list.
+func (s *Server) handleConsolidation(w http.ResponseWriter, r *http.Request) {
+	names := strings.Split(r.URL.Query().Get("warehouses"), ",")
+	if len(names) < 2 || names[0] == "" {
+		writeErr(w, http.StatusBadRequest, "need ?warehouses=A,B[,C...]")
+		return
+	}
+	now := s.b.Acct.Scheduler().Now()
+	from, err := s.parseTime(r.URL.Query().Get("from"), now.Add(-7*24*time.Hour))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	to, err := s.parseTime(r.URL.Query().Get("to"), now)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad to: %v", err)
+		return
+	}
+	var cands []consolidate.Candidate
+	for _, name := range names {
+		wh, err := s.b.Acct.Warehouse(name)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		cands = append(cands, consolidate.Candidate{
+			Config:        wh.Config(),
+			Log:           s.b.Engine.Store().Log(name),
+			ActualCredits: wh.Meter().CreditsBetween(from, to, now),
+		})
+	}
+	rec, err := consolidate.Analyze(cands, from, to, consolidate.DefaultParams())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"warehouses":          rec.Warehouses,
+		"consolidate":         rec.Consolidate,
+		"target_size":         rec.Target.Size.String(),
+		"target_max_clusters": rec.Target.MaxClusters,
+		"current_credits":     rec.CurrentCredits,
+		"merged_credits":      rec.MergedCredits,
+		"savings_percent":     rec.SavingsPercent,
+		"peak_load_clusters":  rec.PeakLoadClusters,
+		"reasons":             rec.Reasons,
+	})
+}
+
+func (s *Server) handleInvoices(w http.ResponseWriter, r *http.Request) {
+	out := []InvoiceJSON{}
+	for _, inv := range s.b.Engine.Ledger().Invoices() {
+		out = append(out, invoiceJSON(inv))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	log := s.b.Engine.Actuator().Log()
+	if len(log) > limit {
+		log = log[len(log)-limit:]
+	}
+	out := make([]ActionJSON, 0, len(log))
+	for _, rec := range log {
+		out = append(out, ActionJSON{
+			Time:      rec.Time.Format(time.RFC3339),
+			Warehouse: rec.Action.Warehouse,
+			Kind:      rec.Action.Kind.String(),
+			Statement: rec.Statement,
+			Applied:   rec.Applied,
+			Reason:    rec.Reason,
+			Error:     rec.Err,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

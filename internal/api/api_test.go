@@ -1,0 +1,358 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/core"
+	"kwo/internal/simclock"
+	"kwo/internal/workload"
+)
+
+// rig builds a running scenario with KWO attached and returns a test
+// server over its API.
+func rig(t *testing.T) (*httptest.Server, *cdw.Account, *simclock.Scheduler) {
+	t.Helper()
+	sched := simclock.NewScheduler(1)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	opts := core.DefaultOptions()
+	opts.PretrainSteps = 100
+	engine := core.NewEngine(acct, opts)
+	cfg := cdw.Config{
+		Name: "BI_WH", Size: cdw.SizeLarge, MinClusters: 1, MaxClusters: 2,
+		AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}
+	if _, err := acct.CreateWarehouse(cfg); err != nil {
+		t.Fatal(err)
+	}
+	pool, _, _ := workload.StandardPools()
+	gen := workload.BI{Pool: pool, PeakQPH: 60, WeekendFactor: 0.3}
+	end := simclock.Epoch.Add(5 * 24 * time.Hour)
+	workload.Drive(sched, acct, "BI_WH", gen.Generate(simclock.Epoch, end, sched.Rand("wl")))
+	sched.RunFor(2 * 24 * time.Hour)
+	if _, err := engine.Attach("BI_WH", core.DefaultSettings()); err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+	sched.RunUntil(end)
+
+	srv := httptest.NewServer(NewServer(Backend{Engine: engine, Acct: acct}))
+	t.Cleanup(srv.Close)
+	return srv, acct, sched
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	srv, _, _ := rig(t)
+	var status map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/status", &status); code != 200 {
+		t.Fatalf("status code %d", code)
+	}
+	if status["warehouses"].(float64) != 1 {
+		t.Fatalf("status = %v", status)
+	}
+	if status["total_credits"].(float64) <= 0 {
+		t.Fatal("no credits in status")
+	}
+}
+
+func TestWarehouseEndpoints(t *testing.T) {
+	srv, _, _ := rig(t)
+	var list []WarehouseInfo
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses", &list); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if len(list) != 1 || list[0].Name != "BI_WH" || !list[0].Attached {
+		t.Fatalf("list = %+v", list)
+	}
+	if list[0].Slider != 3 || list[0].SliderLabel != "Balanced" {
+		t.Fatalf("slider info = %+v", list[0])
+	}
+	var one WarehouseInfo
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH", &one); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if one.Size == "" || one.MaxClusters != 2 {
+		t.Fatalf("warehouse = %+v", one)
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/NOPE", nil); code != 404 {
+		t.Fatalf("missing warehouse code %d", code)
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	srv, _, _ := rig(t)
+	var rep ReportJSON
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/report?from=-48h", &rep); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if rep.Queries == 0 || rep.ActualCredits <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.WithoutKeebo <= 0 {
+		t.Fatal("no counterfactual in report")
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/report?from=garbage", nil); code != 400 {
+		t.Fatalf("bad from code %d", code)
+	}
+}
+
+func TestSeriesEndpoints(t *testing.T) {
+	srv, _, _ := rig(t)
+	var days []map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/daily?days=5&from="+
+		simclock.Epoch.Format(time.RFC3339), &days); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if len(days) != 5 {
+		t.Fatalf("daily rows = %d", len(days))
+	}
+	var hours []map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/hourly?hours=24", &hours); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if len(hours) != 24 {
+		t.Fatalf("hourly rows = %d", len(hours))
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/daily?days=0", nil); code != 400 {
+		t.Fatalf("days=0 code %d", code)
+	}
+}
+
+func TestSliderEndpoints(t *testing.T) {
+	srv, _, _ := rig(t)
+	put := func(body string) int {
+		req, _ := http.NewRequest(http.MethodPut,
+			srv.URL+"/api/v1/warehouses/BI_WH/slider", strings.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put(`{"position": 5}`); code != 200 {
+		t.Fatalf("set slider code %d", code)
+	}
+	var got map[string]any
+	getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/slider", &got)
+	if got["position"].(float64) != 5 || got["label"] != "Lowest Cost" {
+		t.Fatalf("slider = %v", got)
+	}
+	if code := put(`{"position": 9}`); code != 400 {
+		t.Fatalf("invalid slider code %d", code)
+	}
+	if code := put(`not json`); code != 400 {
+		t.Fatalf("bad body code %d", code)
+	}
+}
+
+func TestConstraintsEndpoints(t *testing.T) {
+	srv, _, _ := rig(t)
+	rules := []RuleJSON{{
+		Name: "morning rush", Days: []int{1, 2, 3, 4, 5},
+		StartMinute: 540, EndMinute: 570,
+		EnforceSize: "X-Large", MinClusters: 3,
+	}}
+	body, _ := json.Marshal(rules)
+	req, _ := http.NewRequest(http.MethodPut,
+		srv.URL+"/api/v1/warehouses/BI_WH/constraints", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("set constraints code %d", resp.StatusCode)
+	}
+	var got []RuleJSON
+	getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/constraints", &got)
+	if len(got) != 1 || got[0].EnforceSize != "X-Large" || got[0].MinClusters != 3 {
+		t.Fatalf("constraints = %+v", got)
+	}
+	if len(got[0].Days) != 5 {
+		t.Fatalf("days = %v", got[0].Days)
+	}
+	// Invalid rule rejected.
+	bad := []RuleJSON{{Name: "x", EnforceSize: "Gigantic"}}
+	body, _ = json.Marshal(bad)
+	req, _ = http.NewRequest(http.MethodPut,
+		srv.URL+"/api/v1/warehouses/BI_WH/constraints", bytes.NewReader(body))
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad rule code %d", resp.StatusCode)
+	}
+	badDay := []RuleJSON{{Name: "x", Days: []int{7}}}
+	body, _ = json.Marshal(badDay)
+	req, _ = http.NewRequest(http.MethodPut,
+		srv.URL+"/api/v1/warehouses/BI_WH/constraints", bytes.NewReader(body))
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad day code %d", resp.StatusCode)
+	}
+}
+
+func TestResumeEndpoint(t *testing.T) {
+	srv, acct, sched := rig(t)
+	// External change pauses optimization on the next tick.
+	acct.Alter("BI_WH", cdw.Alteration{Size: cdw.SizeP(cdw.Size3XLarge)}, "dba")
+	sched.RunFor(30 * time.Minute)
+	var info WarehouseInfo
+	getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH", &info)
+	if !info.Paused {
+		t.Fatal("not paused after external change")
+	}
+	resp, err := http.Post(srv.URL+"/api/v1/warehouses/BI_WH/resume-optimization", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out["paused"].(bool) {
+		t.Fatal("still paused after resume")
+	}
+}
+
+func TestInvoicesAndActions(t *testing.T) {
+	srv, _, _ := rig(t)
+	var invs []InvoiceJSON
+	if code := getJSON(t, srv.URL+"/api/v1/invoices", &invs); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if len(invs) == 0 {
+		t.Fatal("no invoices")
+	}
+	for _, inv := range invs {
+		if inv.Charge < 0 || inv.Charge > inv.Savings*inv.Rate+1e-9 {
+			t.Fatalf("bad invoice %+v", inv)
+		}
+	}
+	var acts []ActionJSON
+	if code := getJSON(t, srv.URL+"/api/v1/actions?limit=10", &acts); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if len(acts) == 0 || len(acts) > 10 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/actions?limit=zero", nil); code != 400 {
+		t.Fatalf("bad limit code %d", code)
+	}
+}
+
+func TestAdvanceHook(t *testing.T) {
+	sched := simclock.NewScheduler(9)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	engine := core.NewEngine(acct, core.DefaultOptions())
+	acct.CreateWarehouse(cdw.Config{Name: "W", Size: cdw.SizeXSmall,
+		MinClusters: 1, MaxClusters: 1, AutoResume: true})
+	calls := 0
+	srv := httptest.NewServer(NewServer(Backend{
+		Engine: engine, Acct: acct,
+		Advance: func() { calls++; sched.RunFor(time.Minute) },
+	}))
+	defer srv.Close()
+	before := sched.Now()
+	http.Get(srv.URL + "/api/v1/status")
+	http.Get(srv.URL + "/api/v1/status")
+	if calls != 2 {
+		t.Fatalf("advance calls = %d", calls)
+	}
+	if !sched.Now().Equal(before.Add(2 * time.Minute)) {
+		t.Fatal("virtual time did not advance")
+	}
+}
+
+func TestRuleJSONRoundTrip(t *testing.T) {
+	in := RuleJSON{
+		Name: "full", Days: []int{1, 3}, StartMinute: 60, EndMinute: 120,
+		NoDownsize: true, NoUpsize: true, NoSuspend: true, NoClusters: true,
+		MinSize: "Small", MaxSize: "X-Large", MinClusters: 2, EnforceSize: "Medium",
+	}
+	rule, err := ruleFromJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ruleToJSON(rule)
+	a, _ := json.Marshal(in)
+	b, _ := json.Marshal(out)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip mismatch:\n%s\n%s", a, b)
+	}
+}
+
+func TestConsolidationEndpoint(t *testing.T) {
+	sched := simclock.NewScheduler(7)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	engine := core.NewEngine(acct, core.DefaultOptions())
+	pool, _, _ := workload.StandardPools()
+	for _, name := range []string{"A", "B"} {
+		acct.CreateWarehouse(cdw.Config{Name: name, Size: cdw.SizeSmall,
+			MinClusters: 1, MaxClusters: 2, AutoSuspend: 10 * time.Minute, AutoResume: true})
+		gen := workload.BI{Pool: pool, PeakQPH: 10, WeekendFactor: 0.2}
+		end := simclock.Epoch.Add(2 * 24 * time.Hour)
+		workload.Drive(sched, acct, name, gen.Generate(simclock.Epoch, end, sched.Rand("wl:"+name)))
+	}
+	sched.RunFor(2*24*time.Hour + time.Hour)
+	srv := httptest.NewServer(NewServer(Backend{Engine: engine, Acct: acct}))
+	defer srv.Close()
+
+	var out map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/consolidation?warehouses=A,B&from=-48h", &out); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if out["current_credits"].(float64) <= 0 {
+		t.Fatalf("analysis = %v", out)
+	}
+	if _, ok := out["consolidate"].(bool); !ok {
+		t.Fatalf("missing verdict: %v", out)
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/consolidation?warehouses=A", nil); code != 400 {
+		t.Fatalf("single warehouse code %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/consolidation?warehouses=A,NOPE", nil); code != 404 {
+		t.Fatalf("unknown warehouse code %d", code)
+	}
+}
+
+func TestWhatIfEndpoint(t *testing.T) {
+	srv, _, _ := rig(t)
+	var out map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/what-if?slider=5&from=-48h", &out); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if out["queries"].(float64) == 0 || out["live_credits"].(float64) <= 0 {
+		t.Fatalf("what-if = %v", out)
+	}
+	if out["sandbox_credits"].(float64) <= 0 {
+		t.Fatalf("no sandbox projection: %v", out)
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/what-if?slider=9", nil); code != 400 {
+		t.Fatalf("invalid slider code %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/warehouses/BI_WH/what-if", nil); code != 400 {
+		t.Fatalf("missing slider code %d", code)
+	}
+}

@@ -1,0 +1,129 @@
+// Package baseline implements the non-learning comparators the
+// evaluation pits KWO against: the customer's static configuration
+// (what "before Keebo" means in Figure 4), a rule-of-thumb auto-suspend
+// heuristic (the blog-post advice of §3), and a reactive threshold
+// controller representative of non-learning autoscalers (§8's
+// predictive/reactive resource optimizers).
+package baseline
+
+import (
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/simclock"
+)
+
+// Controller periodically inspects a warehouse and may alter it.
+type Controller interface {
+	// Name identifies the controller in experiment output.
+	Name() string
+	// Tick runs one control decision at the scheduler's current time.
+	Tick(acct *cdw.Account, warehouse string)
+}
+
+// Run schedules the controller to tick every interval until the
+// scheduler is drained or stopped. Returns a cancel function.
+func Run(sched *simclock.Scheduler, acct *cdw.Account, warehouse string,
+	c Controller, every time.Duration) func() {
+	stopped := false
+	var loop func()
+	loop = func() {
+		if stopped {
+			return
+		}
+		c.Tick(acct, warehouse)
+		sched.After(every, "baseline:"+c.Name(), loop)
+	}
+	sched.After(every, "baseline:"+c.Name(), loop)
+	return func() { stopped = true }
+}
+
+// Static never changes anything: the customer's original configuration
+// runs unmodified. This is the "before Keebo" bar in Figure 4.
+type Static struct{}
+
+// Name implements Controller.
+func (Static) Name() string { return "static" }
+
+// Tick implements Controller.
+func (Static) Tick(*cdw.Account, string) {}
+
+// RuleOfThumb applies the community "best practices" once: set a short
+// auto-suspend interval (60 seconds) and leave everything else alone.
+// The paper notes such rules "provide no guarantees on optimal cost or
+// performance" — in particular they ignore cache sensitivity.
+type RuleOfThumb struct {
+	AutoSuspend time.Duration
+	applied     bool
+}
+
+// Name implements Controller.
+func (r *RuleOfThumb) Name() string { return "rule-of-thumb" }
+
+// Tick implements Controller.
+func (r *RuleOfThumb) Tick(acct *cdw.Account, warehouse string) {
+	if r.applied {
+		return
+	}
+	as := r.AutoSuspend
+	if as <= 0 {
+		as = time.Minute
+	}
+	_ = acct.Alter(warehouse, cdw.Alteration{AutoSuspend: cdw.DurationP(as)}, "rule-of-thumb")
+	r.applied = true
+}
+
+// Reactive is a threshold autoscaler without learning: scale up on
+// visible queueing, scale down on sustained low utilization. It has no
+// cost model (it cannot trade latency for credits), no constraints, no
+// backoff, and no memory of past mistakes.
+type Reactive struct {
+	// UpQueue is the queue length that triggers an upsize.
+	UpQueue int
+	// DownUtil is the utilization below which a downsize is considered.
+	DownUtil float64
+	// DownTicks is how many consecutive low-utilization ticks are
+	// required before downsizing.
+	DownTicks int
+	// MinSize bounds how far the controller will shrink.
+	MinSize cdw.Size
+
+	lowTicks int
+}
+
+// NewReactive returns a controller with conventional thresholds.
+func NewReactive() *Reactive {
+	return &Reactive{UpQueue: 2, DownUtil: 0.15, DownTicks: 6, MinSize: cdw.SizeXSmall}
+}
+
+// Name implements Controller.
+func (r *Reactive) Name() string { return "reactive" }
+
+// Tick implements Controller.
+func (r *Reactive) Tick(acct *cdw.Account, warehouse string) {
+	wh, err := acct.Warehouse(warehouse)
+	if err != nil {
+		return
+	}
+	if !wh.Running() {
+		r.lowTicks = 0
+		return
+	}
+	cfg := wh.Config()
+	if wh.QueueLength() >= r.UpQueue {
+		r.lowTicks = 0
+		if cfg.Size < cdw.MaxSize {
+			_ = acct.Alter(warehouse, cdw.Alteration{Size: cdw.SizeP(cfg.Size.Up())}, "reactive")
+		}
+		return
+	}
+	if wh.Utilization() < r.DownUtil {
+		r.lowTicks++
+		if r.lowTicks >= r.DownTicks && cfg.Size > r.MinSize {
+			r.lowTicks = 0
+			_ = acct.Alter(warehouse, cdw.Alteration{Size: cdw.SizeP(cfg.Size.Down())}, "reactive")
+		}
+		return
+	}
+	r.lowTicks = 0
+}

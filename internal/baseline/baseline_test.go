@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/simclock"
+	"kwo/internal/workload"
+)
+
+var t0 = simclock.Epoch
+
+func run(t *testing.T, c Controller, days int, seed int64) (float64, *cdw.Account) {
+	t.Helper()
+	sched := simclock.NewScheduler(seed)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	cfg := cdw.Config{
+		Name: "W", Size: cdw.SizeLarge, MinClusters: 1, MaxClusters: 1,
+		AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}
+	if _, err := acct.CreateWarehouse(cfg); err != nil {
+		t.Fatal(err)
+	}
+	biPool, _, _ := workload.StandardPools()
+	gen := workload.BI{Pool: biPool, PeakQPH: 60, WeekendFactor: 0.3}
+	end := t0.Add(time.Duration(days) * 24 * time.Hour)
+	arr := gen.Generate(t0, end, sched.Rand("workload"))
+	workload.Drive(sched, acct, "W", arr)
+	if c != nil {
+		Run(sched, acct, "W", c, 10*time.Minute)
+	}
+	sched.RunUntil(end.Add(time.Hour))
+	return acct.TotalCredits(), acct
+}
+
+func TestStaticChangesNothing(t *testing.T) {
+	_, acct := run(t, Static{}, 1, 1)
+	if len(acct.Changes()) != 0 {
+		t.Fatalf("static controller made %d changes", len(acct.Changes()))
+	}
+}
+
+func TestRuleOfThumbAppliesOnce(t *testing.T) {
+	_, acct := run(t, &RuleOfThumb{}, 1, 1)
+	chs := acct.Changes()
+	if len(chs) != 1 {
+		t.Fatalf("rule-of-thumb made %d changes, want 1", len(chs))
+	}
+	if chs[0].After.AutoSuspend != time.Minute {
+		t.Fatalf("auto-suspend = %v, want 1m", chs[0].After.AutoSuspend)
+	}
+	if chs[0].Actor != "rule-of-thumb" {
+		t.Fatalf("actor = %s", chs[0].Actor)
+	}
+}
+
+func TestRuleOfThumbSavesIdleCredits(t *testing.T) {
+	static, _ := run(t, Static{}, 2, 2)
+	thumb, _ := run(t, &RuleOfThumb{}, 2, 2)
+	if thumb >= static {
+		t.Fatalf("rule-of-thumb (%v) did not beat static (%v) on idle-heavy workload", thumb, static)
+	}
+}
+
+func TestReactiveDownsizesIdleWarehouse(t *testing.T) {
+	cost, acct := run(t, NewReactive(), 2, 3)
+	static, _ := run(t, Static{}, 2, 3)
+	if cost >= static {
+		t.Fatalf("reactive (%v) did not beat static (%v)", cost, static)
+	}
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size >= cdw.SizeLarge {
+		t.Fatalf("reactive never downsized: %v", wh.Config().Size)
+	}
+}
+
+func TestReactiveUpsizesOnQueueing(t *testing.T) {
+	sched := simclock.NewScheduler(4)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	cfg := cdw.Config{
+		Name: "W", Size: cdw.SizeXSmall, MinClusters: 1, MaxClusters: 1,
+		AutoSuspend: time.Hour, AutoResume: true,
+	}
+	acct.CreateWarehouse(cfg)
+	r := NewReactive()
+	Run(sched, acct, "W", r, time.Minute)
+	// Saturate: 20 long queries on an 8-slot cluster.
+	for i := 0; i < 20; i++ {
+		acct.Submit("W", cdw.Query{Work: 3600, ScaleExp: 1, TemplateHash: uint64(i)})
+	}
+	sched.RunFor(10 * time.Minute)
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size == cdw.SizeXSmall {
+		t.Fatal("reactive never upsized under saturation")
+	}
+}
+
+func TestRunCancel(t *testing.T) {
+	sched := simclock.NewScheduler(5)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	acct.CreateWarehouse(cdw.Config{Name: "W", Size: cdw.SizeSmall,
+		MinClusters: 1, MaxClusters: 1, AutoResume: true})
+	r := &RuleOfThumb{}
+	cancel := Run(sched, acct, "W", r, time.Minute)
+	cancel()
+	sched.RunFor(time.Hour)
+	if len(acct.Changes()) != 0 {
+		t.Fatal("cancelled controller still acted")
+	}
+}

@@ -1,0 +1,239 @@
+package cdw
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kwo/internal/simclock"
+)
+
+// EventKind classifies warehouse lifecycle events.
+type EventKind int
+
+const (
+	EventResume EventKind = iota
+	EventSuspend
+	EventClusterStart
+	EventClusterStop
+)
+
+// String returns a stable lowercase name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventResume:
+		return "resume"
+	case EventSuspend:
+		return "suspend"
+	case EventClusterStart:
+		return "cluster-start"
+	case EventClusterStop:
+		return "cluster-stop"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// WarehouseEvent is a lifecycle transition visible in telemetry.
+type WarehouseEvent struct {
+	Time      time.Time
+	Warehouse string
+	Kind      EventKind
+	Clusters  int // active clusters after the event
+}
+
+// ConfigChange is one row of the configuration audit log. Actor records
+// who made the change, which is how the monitor distinguishes KWO's own
+// actions from external changes made by other users (§4.4).
+type ConfigChange struct {
+	Time      time.Time
+	Warehouse string
+	Before    Config
+	After     Config
+	Actor     string
+	Statement string // the rendered ALTER statement
+}
+
+// Listener receives telemetry as the simulation runs. Implementations
+// must not mutate the account from inside callbacks.
+type Listener interface {
+	OnQuery(QueryRecord)
+	OnChange(ConfigChange)
+	OnWarehouseEvent(WarehouseEvent)
+}
+
+// Account is a simulated CDW account holding multiple virtual
+// warehouses, the equivalent of one Snowflake account. All interaction
+// — query submission, ALTER statements, billing reads — goes through it.
+type Account struct {
+	sched       *simclock.Scheduler
+	params      SimParams
+	warehouses  map[string]*Warehouse
+	names       []string // insertion order, for deterministic iteration
+	listeners   []Listener
+	changes     []ConfigChange
+	overhead    []OverheadRecord
+	nextQueryID uint64
+}
+
+// OverheadRecord meters credits consumed by the optimizer itself
+// (telemetry pulls, actuator statements) rather than by user queries.
+type OverheadRecord struct {
+	Time    time.Time
+	Credits float64
+	Note    string
+}
+
+// NewAccount creates an account driven by the given scheduler.
+func NewAccount(sched *simclock.Scheduler, params SimParams) *Account {
+	return &Account{
+		sched:      sched,
+		params:     params,
+		warehouses: make(map[string]*Warehouse),
+	}
+}
+
+// Scheduler returns the driving scheduler.
+func (a *Account) Scheduler() *simclock.Scheduler { return a.sched }
+
+// Params returns the account's physical constants.
+func (a *Account) Params() SimParams { return a.params }
+
+// Subscribe registers a telemetry listener.
+func (a *Account) Subscribe(l Listener) { a.listeners = append(a.listeners, l) }
+
+// CreateWarehouse provisions a warehouse. Like Snowflake, a newly
+// created warehouse starts running (and will auto-suspend if idle).
+func (a *Account) CreateWarehouse(cfg Config) (*Warehouse, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := a.warehouses[cfg.Name]; ok {
+		return nil, fmt.Errorf("cdw: warehouse %s already exists", cfg.Name)
+	}
+	w := newWarehouse(a, cfg, false)
+	a.warehouses[cfg.Name] = w
+	a.names = append(a.names, cfg.Name)
+	return w, nil
+}
+
+// Warehouse returns a warehouse by name.
+func (a *Account) Warehouse(name string) (*Warehouse, error) {
+	w, ok := a.warehouses[name]
+	if !ok {
+		return nil, fmt.Errorf("cdw: no warehouse named %s", name)
+	}
+	return w, nil
+}
+
+// WarehouseNames lists warehouses in creation order.
+func (a *Account) WarehouseNames() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Submit routes a query to the named warehouse, assigning it an ID.
+func (a *Account) Submit(warehouse string, q Query) error {
+	w, err := a.Warehouse(warehouse)
+	if err != nil {
+		return err
+	}
+	a.nextQueryID++
+	q.ID = a.nextQueryID
+	return w.Submit(q)
+}
+
+// Alter applies an ALTER WAREHOUSE-style change on behalf of actor.
+// The change is recorded in the audit log whether or not any field
+// actually changed, matching how real accounts log every statement.
+func (a *Account) Alter(warehouse string, alt Alteration, actor string) error {
+	w, err := a.Warehouse(warehouse)
+	if err != nil {
+		return err
+	}
+	before := w.cfg
+	if err := w.applyAlteration(alt); err != nil {
+		return err
+	}
+	ch := ConfigChange{
+		Time:      a.sched.Now(),
+		Warehouse: warehouse,
+		Before:    before,
+		After:     w.cfg,
+		Actor:     actor,
+		Statement: alt.String(),
+	}
+	a.changes = append(a.changes, ch)
+	for _, l := range a.listeners {
+		l.OnChange(ch)
+	}
+	return nil
+}
+
+// Changes returns the configuration audit log.
+func (a *Account) Changes() []ConfigChange {
+	out := make([]ConfigChange, len(a.changes))
+	copy(out, a.changes)
+	return out
+}
+
+// ChangesSince returns audit rows at or after t.
+func (a *Account) ChangesSince(t time.Time) []ConfigChange {
+	i := sort.Search(len(a.changes), func(i int) bool { return !a.changes[i].Time.Before(t) })
+	out := make([]ConfigChange, len(a.changes)-i)
+	copy(out, a.changes[i:])
+	return out
+}
+
+// RecordOverhead meters credits consumed by the optimizer's own
+// operations. The paper's Figure 6 reports this overhead separately
+// from user spend.
+func (a *Account) RecordOverhead(credits float64, note string) {
+	a.overhead = append(a.overhead, OverheadRecord{
+		Time: a.sched.Now(), Credits: credits, Note: note,
+	})
+}
+
+// OverheadBetween sums optimizer overhead credits in [from, to).
+func (a *Account) OverheadBetween(from, to time.Time) float64 {
+	var total float64
+	for _, r := range a.overhead {
+		if !r.Time.Before(from) && r.Time.Before(to) {
+			total += r.Credits
+		}
+	}
+	return total
+}
+
+// TotalCredits sums billed credits across all warehouses up to now.
+func (a *Account) TotalCredits() float64 {
+	now := a.sched.Now()
+	var total float64
+	for _, name := range a.names {
+		total += a.warehouses[name].Meter().TotalCredits(now)
+	}
+	return total
+}
+
+// CreditsBetween sums billed credits across all warehouses in [from, to).
+func (a *Account) CreditsBetween(from, to time.Time) float64 {
+	now := a.sched.Now()
+	var total float64
+	for _, name := range a.names {
+		total += a.warehouses[name].Meter().CreditsBetween(from, to, now)
+	}
+	return total
+}
+
+func (a *Account) emitQuery(rec QueryRecord) {
+	for _, l := range a.listeners {
+		l.OnQuery(rec)
+	}
+}
+
+func (a *Account) emitWarehouseEvent(ev WarehouseEvent) {
+	for _, l := range a.listeners {
+		l.OnWarehouseEvent(ev)
+	}
+}

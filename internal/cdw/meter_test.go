@@ -1,0 +1,141 @@
+package cdw
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kwo/internal/simclock"
+)
+
+var t0 = simclock.Epoch
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeterMinimumBilling(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0, true)
+	m.StopCluster(0, t0.Add(5*time.Second)) // ran 5s, billed 60s
+	got := m.TotalCredits(t0.Add(time.Hour))
+	want := 60.0 / 3600 // X-Small: 1 credit/hour
+	if !approx(got, want, 1e-9) {
+		t.Fatalf("credits = %v, want %v (60s minimum)", got, want)
+	}
+}
+
+func TestMeterLongRunNoMinimumInflation(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeSmall, t0, true)
+	m.StopCluster(0, t0.Add(30*time.Minute))
+	got := m.TotalCredits(t0.Add(time.Hour))
+	want := 2.0 * 0.5 // Small = 2 credits/hour for half an hour
+	if !approx(got, want, 1e-9) {
+		t.Fatalf("credits = %v, want %v", got, want)
+	}
+}
+
+func TestMeterResizeSplitsSegments(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0, true)
+	m.Resize(SizeMedium, t0.Add(30*time.Minute))
+	m.StopCluster(0, t0.Add(time.Hour))
+	got := m.TotalCredits(t0.Add(2 * time.Hour))
+	want := 1.0*0.5 + 4.0*0.5 // 30min at XS + 30min at Medium
+	if !approx(got, want, 1e-9) {
+		t.Fatalf("credits = %v, want %v", got, want)
+	}
+	segs := m.Segments(t0.Add(2 * time.Hour))
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	if segs[0].Size != SizeXSmall || segs[1].Size != SizeMedium {
+		t.Fatalf("segment sizes = %v, %v", segs[0].Size, segs[1].Size)
+	}
+}
+
+func TestMeterResizeSameSizeNoop(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeLarge, t0, true)
+	m.Resize(SizeLarge, t0.Add(time.Minute))
+	if len(m.Segments(t0.Add(2*time.Minute))) != 1 {
+		t.Fatal("same-size resize split the segment")
+	}
+}
+
+func TestMeterProration(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0.Add(30*time.Minute), true)
+	m.StopCluster(0, t0.Add(90*time.Minute))
+	now := t0.Add(3 * time.Hour)
+	// First hour contains 30 minutes of activity.
+	h1 := m.CreditsBetween(t0, t0.Add(time.Hour), now)
+	if !approx(h1, 0.5, 1e-9) {
+		t.Fatalf("hour1 = %v, want 0.5", h1)
+	}
+	h2 := m.CreditsBetween(t0.Add(time.Hour), t0.Add(2*time.Hour), now)
+	if !approx(h2, 0.5, 1e-9) {
+		t.Fatalf("hour2 = %v, want 0.5", h2)
+	}
+	if got := m.CreditsBetween(t0.Add(2*time.Hour), now, now); got != 0 {
+		t.Fatalf("idle hour billed %v", got)
+	}
+}
+
+func TestMeterHourlyIncludesZeroHours(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0, true)
+	m.StopCluster(0, t0.Add(10*time.Minute))
+	recs := m.Hourly(t0, t0.Add(3*time.Hour), t0.Add(3*time.Hour))
+	if len(recs) != 3 {
+		t.Fatalf("hourly rows = %d, want 3", len(recs))
+	}
+	if recs[1].Credits != 0 || recs[2].Credits != 0 {
+		t.Fatal("idle hours not zero")
+	}
+	if recs[0].Credits <= 0 {
+		t.Fatal("active hour zero")
+	}
+}
+
+func TestMeterOpenSegmentTruncatedAtNow(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0, true)
+	got := m.TotalCredits(t0.Add(2 * time.Hour))
+	if !approx(got, 2.0, 1e-9) {
+		t.Fatalf("open segment credits = %v, want 2.0", got)
+	}
+}
+
+func TestMeterMultiCluster(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0, true)
+	m.StartCluster(1, SizeXSmall, t0, true)
+	m.StopCluster(0, t0.Add(time.Hour))
+	m.StopCluster(1, t0.Add(time.Hour))
+	if got := m.TotalCredits(t0.Add(time.Hour)); !approx(got, 2.0, 1e-9) {
+		t.Fatalf("two clusters for an hour = %v credits, want 2", got)
+	}
+	if m.ActiveClusters() != 0 {
+		t.Fatal("clusters still active after stop")
+	}
+}
+
+func TestMeterDaily(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0, true)
+	m.StopCluster(0, t0.Add(24*time.Hour))
+	m.StartCluster(1, SizeXSmall, t0.Add(36*time.Hour), true)
+	m.StopCluster(1, t0.Add(37*time.Hour))
+	days := m.Daily(t0, 3, t0.Add(72*time.Hour))
+	if !approx(days[0], 24, 1e-9) || !approx(days[1], 1, 1e-9) || days[2] != 0 {
+		t.Fatalf("daily = %v", days)
+	}
+}
+
+func TestMeterStopUnknownClusterNoop(t *testing.T) {
+	m := NewMeter("W")
+	m.StopCluster(99, t0) // must not panic
+	if m.TotalCredits(t0.Add(time.Hour)) != 0 {
+		t.Fatal("phantom cluster billed")
+	}
+}

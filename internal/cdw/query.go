@@ -1,0 +1,86 @@
+package cdw
+
+import (
+	"time"
+)
+
+// Query is a unit of work submitted to a warehouse. Fields describe the
+// query's resource profile, not its text: per the paper's security
+// criterion (C6), only hashes of the text and template ever leave the
+// warehouse, so the simulator carries hashes from the start.
+type Query struct {
+	ID           uint64
+	TextHash     uint64 // hash of the full query text (constants included)
+	TemplateHash uint64 // hash of the normalized template (constants stripped)
+	UserHash     uint64 // hashed user name
+
+	// Work is the execution time, in seconds, this query would take on
+	// a warm X-Small cluster. Latency on larger sizes scales as
+	// Work / Capacity^ScaleExp.
+	Work float64
+
+	// ScaleExp is the query's size-scaling exponent in (0, ~1.1].
+	// 1.0 means perfectly parallelizable (latency halves per size step);
+	// values below 1 model queries dominated by fixed costs; values
+	// above 1 model memory-bound queries that spill on small sizes.
+	ScaleExp float64
+
+	// ColdFactor is the relative slowdown when the query runs on a
+	// cluster whose local cache does not hold this query's working set:
+	// coldLatency = warmLatency * (1 + ColdFactor). BI queries that
+	// rescan the same partitions have high ColdFactor; full-scan ETL
+	// queries have low ColdFactor.
+	ColdFactor float64
+
+	BytesScanned int64
+}
+
+// Latency returns the query's execution time on a cluster of the given
+// size, given whether the cluster cache is warm for this query.
+func (q Query) Latency(s Size, warm bool) time.Duration {
+	cap := s.Capacity()
+	// latency = Work / cap^ScaleExp
+	lat := q.Work / pow(cap, q.ScaleExp)
+	if !warm {
+		lat *= 1 + q.ColdFactor
+	}
+	if lat < 0.001 {
+		lat = 0.001 // floor at 1ms: even trivial queries are not free
+	}
+	return time.Duration(lat * float64(time.Second))
+}
+
+// pow computes base^exp for base >= 1 without importing math in the hot
+// path signature; it simply delegates to math.Pow via the shared helper
+// in latency.go.
+func pow(base, exp float64) float64 { return mathPow(base, exp) }
+
+// QueryRecord is the telemetry row produced when a query completes. It
+// mirrors the columns of Snowflake's QUERY_HISTORY view that the paper
+// says KWO trains on: system information, time series data, and
+// performance metrics — never query text.
+type QueryRecord struct {
+	QueryID      uint64
+	Warehouse    string
+	TextHash     uint64
+	TemplateHash uint64
+	UserHash     uint64
+
+	SubmitTime time.Time // when the query arrived
+	StartTime  time.Time // when execution began (after queueing/resume)
+	EndTime    time.Time // when execution finished
+
+	QueueDuration time.Duration // StartTime - SubmitTime
+	ExecDuration  time.Duration // EndTime - StartTime
+
+	BytesScanned int64
+	Size         Size // warehouse size the query executed at
+	Clusters     int  // active clusters when the query started
+	ColdRead     bool // true if the local cache was cold for this query
+	Resumed      bool // true if this query triggered an auto-resume
+}
+
+// TotalDuration is queueing plus execution — the latency the user sees.
+func (r QueryRecord) TotalDuration() time.Duration {
+	return r.QueueDuration + r.ExecDuration
+}

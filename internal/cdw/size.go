@@ -1,0 +1,102 @@
+// Package cdw implements a discrete-event simulator of a Snowflake-like
+// cloud data warehouse: virtual warehouses with T-shirt sizes, per-second
+// credit metering with a 60-second resume minimum, auto-suspend and
+// auto-resume, multi-cluster scale-out with Standard/Economy policies,
+// query queueing, and a local cache that is dropped on suspend.
+//
+// The simulator reproduces the decision surface described in §3 of the
+// Keebo paper (memory optimization, warehouse resizing, warehouse
+// parallelism) so that the optimizer exercises exactly the knobs the
+// paper's system tunes. It stands in for the real Snowflake API; the
+// optimizer only ever talks to it through the same narrow surface
+// (ALTER WAREHOUSE-style alterations and telemetry reads).
+package cdw
+
+import "fmt"
+
+// Size is a Snowflake-style T-shirt warehouse size. Credits per hour and
+// nominal compute capacity both double with each increment.
+type Size int
+
+// The ten documented Snowflake warehouse sizes.
+const (
+	SizeXSmall Size = iota // X-Small: 1 credit/hour
+	SizeSmall
+	SizeMedium
+	SizeLarge
+	SizeXLarge
+	Size2XLarge
+	Size3XLarge
+	Size4XLarge
+	Size5XLarge
+	Size6XLarge
+)
+
+// MinSize and MaxSize bound the valid Size range.
+const (
+	MinSize = SizeXSmall
+	MaxSize = Size6XLarge
+)
+
+var sizeNames = [...]string{
+	"X-Small", "Small", "Medium", "Large", "X-Large",
+	"2X-Large", "3X-Large", "4X-Large", "5X-Large", "6X-Large",
+}
+
+// String returns the Snowflake display name for the size.
+func (s Size) String() string {
+	if s < MinSize || s > MaxSize {
+		return fmt.Sprintf("Size(%d)", int(s))
+	}
+	return sizeNames[s]
+}
+
+// Valid reports whether s is one of the defined sizes.
+func (s Size) Valid() bool { return s >= MinSize && s <= MaxSize }
+
+// CreditsPerHour returns the billing rate of a single running cluster of
+// this size. X-Small is 1 credit/hour; the rate doubles per size step.
+func (s Size) CreditsPerHour() float64 { return float64(uint64(1) << uint(s)) }
+
+// Capacity returns the nominal compute capacity of one cluster, relative
+// to X-Small = 1. Like the billing rate, it doubles per step ("the
+// compute capacity is widely assumed to also double with each increment").
+func (s Size) Capacity() float64 { return float64(uint64(1) << uint(s)) }
+
+// Up returns the next larger size, clamped at 6X-Large.
+func (s Size) Up() Size {
+	if s >= MaxSize {
+		return MaxSize
+	}
+	return s + 1
+}
+
+// Down returns the next smaller size, clamped at X-Small.
+func (s Size) Down() Size {
+	if s <= MinSize {
+		return MinSize
+	}
+	return s - 1
+}
+
+// Clamp restricts s to [lo, hi].
+func (s Size) Clamp(lo, hi Size) Size {
+	if s < lo {
+		return lo
+	}
+	if s > hi {
+		return hi
+	}
+	return s
+}
+
+// ParseSize converts a display name (as accepted by ALTER WAREHOUSE)
+// back to a Size.
+func ParseSize(name string) (Size, error) {
+	for i, n := range sizeNames {
+		if n == name {
+			return Size(i), nil
+		}
+	}
+	return 0, fmt.Errorf("cdw: unknown warehouse size %q", name)
+}

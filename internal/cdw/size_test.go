@@ -1,0 +1,151 @@
+package cdw
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSizeDoubling(t *testing.T) {
+	for s := MinSize; s < MaxSize; s++ {
+		if got, want := s.Up().CreditsPerHour(), 2*s.CreditsPerHour(); got != want {
+			t.Errorf("%s→%s credits %v, want %v", s, s.Up(), got, want)
+		}
+		if got, want := s.Up().Capacity(), 2*s.Capacity(); got != want {
+			t.Errorf("%s→%s capacity %v, want %v", s, s.Up(), got, want)
+		}
+	}
+	if SizeXSmall.CreditsPerHour() != 1 {
+		t.Errorf("X-Small credits/hour = %v, want 1", SizeXSmall.CreditsPerHour())
+	}
+}
+
+func TestSizeParseRoundTrip(t *testing.T) {
+	for s := MinSize; s <= MaxSize; s++ {
+		got, err := ParseSize(s.String())
+		if err != nil {
+			t.Fatalf("ParseSize(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip %v → %v", s, got)
+		}
+	}
+	if _, err := ParseSize("Gigantic"); err == nil {
+		t.Fatal("ParseSize accepted unknown name")
+	}
+}
+
+func TestSizeClampUpDown(t *testing.T) {
+	if MaxSize.Up() != MaxSize {
+		t.Error("Up past MaxSize not clamped")
+	}
+	if MinSize.Down() != MinSize {
+		t.Error("Down past MinSize not clamped")
+	}
+	if SizeLarge.Clamp(SizeXSmall, SizeMedium) != SizeMedium {
+		t.Error("Clamp upper bound failed")
+	}
+	if SizeXSmall.Clamp(SizeSmall, SizeLarge) != SizeSmall {
+		t.Error("Clamp lower bound failed")
+	}
+	if !SizeMedium.Valid() || Size(99).Valid() {
+		t.Error("Valid() wrong")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := Config{Name: "W", Size: SizeSmall, MinClusters: 1, MaxClusters: 2,
+		AutoSuspend: time.Minute, AutoResume: true}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(Config) Config
+	}{
+		{"empty name", func(c Config) Config { c.Name = ""; return c }},
+		{"bad size", func(c Config) Config { c.Size = Size(42); return c }},
+		{"zero min clusters", func(c Config) Config { c.MinClusters = 0; return c }},
+		{"max < min", func(c Config) Config { c.MaxClusters = 0; return c }},
+		{"negative suspend", func(c Config) Config { c.AutoSuspend = -time.Second; return c }},
+	}
+	for _, tc := range cases {
+		if err := tc.mut(base).Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+func TestAlterationApply(t *testing.T) {
+	c := Config{Name: "W", Size: SizeSmall, MinClusters: 1, MaxClusters: 2,
+		Policy: ScaleStandard, AutoSuspend: time.Minute, AutoResume: true}
+	a := Alteration{
+		Size:        SizeP(SizeLarge),
+		MaxClusters: IntP(5),
+		Policy:      PolicyP(ScaleEconomy),
+		AutoSuspend: DurationP(30 * time.Second),
+		AutoResume:  BoolP(false),
+	}
+	got := a.Apply(c)
+	if got.Size != SizeLarge || got.MaxClusters != 5 || got.Policy != ScaleEconomy ||
+		got.AutoSuspend != 30*time.Second || got.AutoResume {
+		t.Fatalf("Apply result %+v", got)
+	}
+	if got.MinClusters != 1 || got.Name != "W" {
+		t.Fatal("Apply touched fields it should not have")
+	}
+	if !(Alteration{}).IsZero() {
+		t.Fatal("zero alteration not IsZero")
+	}
+	if a.IsZero() {
+		t.Fatal("non-zero alteration IsZero")
+	}
+}
+
+func TestAlterationString(t *testing.T) {
+	a := Alteration{Size: SizeP(SizeMedium), AutoSuspend: DurationP(90 * time.Second)}
+	s := a.String()
+	want1, want2 := "WAREHOUSE_SIZE=Medium", "AUTO_SUSPEND=90"
+	if !contains(s, want1) || !contains(s, want2) {
+		t.Fatalf("String() = %q, want to contain %q and %q", s, want1, want2)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: a query's latency is non-increasing in warehouse size, and a
+// cold read is never faster than a warm one.
+func TestPropertyLatencyMonotone(t *testing.T) {
+	f := func(workMS uint32, expPct uint8, coldPct uint8) bool {
+		q := Query{
+			Work:       float64(workMS%1_000_000)/1000 + 0.01,
+			ScaleExp:   0.3 + float64(expPct%80)/100, // 0.3..1.09
+			ColdFactor: float64(coldPct) / 100,       // 0..2.55
+		}
+		for s := MinSize; s < MaxSize; s++ {
+			if q.Latency(s.Up(), true) > q.Latency(s, true) {
+				return false
+			}
+			if q.Latency(s, false) < q.Latency(s, true) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalingPolicyString(t *testing.T) {
+	if ScaleStandard.String() != "Standard" || ScaleEconomy.String() != "Economy" {
+		t.Fatal("policy names wrong")
+	}
+}

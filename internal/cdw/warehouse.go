@@ -1,0 +1,582 @@
+package cdw
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"kwo/internal/simclock"
+)
+
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// SimParams are account-wide physical constants of the simulated CDW.
+type SimParams struct {
+	// MaxConcurrency is the number of queries one cluster runs at once
+	// (Snowflake's default MAX_CONCURRENCY_LEVEL is 8).
+	MaxConcurrency int
+	// ResumeDelay is how long a suspended warehouse takes to serve its
+	// first query after auto-resume.
+	ResumeDelay time.Duration
+	// ClusterStartDelay is how long a newly started extra cluster takes
+	// to accept queries.
+	ClusterStartDelay time.Duration
+	// ClusterStartSpacing is the minimum interval between successive
+	// scale-out cluster starts (Standard policy starts clusters ~20s
+	// apart).
+	ClusterStartSpacing time.Duration
+	// ScaleInCheckEvery is the cadence of scale-in checks.
+	ScaleInCheckEvery time.Duration
+	// StandardIdleChecks / EconomyIdleChecks are how many consecutive
+	// scale-in checks must find spare capacity before a cluster is shut
+	// down (Standard: 2–3 minutes; Economy: 5–6 minutes).
+	StandardIdleChecks int
+	EconomyIdleChecks  int
+	// EconomyQueuedWork is the amount of estimated queued work, in
+	// seconds, needed before the Economy policy starts another cluster
+	// (Snowflake documents ~6 minutes of work).
+	EconomyQueuedWork float64
+	// CacheTTL is how long a cached working set stays warm without
+	// being touched.
+	CacheTTL time.Duration
+	// CacheEntriesPerCapacity scales cache capacity with warehouse
+	// size: a cluster of capacity C holds CacheEntriesPerCapacity*C
+	// distinct working sets.
+	CacheEntriesPerCapacity int
+}
+
+// DefaultSimParams returns production-plausible constants.
+func DefaultSimParams() SimParams {
+	return SimParams{
+		MaxConcurrency:          8,
+		ResumeDelay:             2 * time.Second,
+		ClusterStartDelay:       2 * time.Second,
+		ClusterStartSpacing:     20 * time.Second,
+		ScaleInCheckEvery:       time.Minute,
+		StandardIdleChecks:      2,
+		EconomyIdleChecks:       6,
+		EconomyQueuedWork:       360,
+		CacheTTL:                4 * time.Hour,
+		CacheEntriesPerCapacity: 64,
+	}
+}
+
+type cacheEntry struct {
+	lastTouch time.Time
+}
+
+// cluster is one compute cluster of a (possibly multi-cluster) warehouse.
+type cluster struct {
+	id        int
+	readyAt   time.Time // accepts queries from this instant
+	running   int       // queries currently executing
+	cache     map[uint64]cacheEntry
+	idleSince time.Time
+	draining  bool // no new queries; shut down when running hits 0
+}
+
+type pendingQuery struct {
+	q         Query
+	submitted time.Time
+	resumed   bool // this query triggered an auto-resume
+}
+
+// Warehouse is the runtime state machine of one virtual warehouse.
+type Warehouse struct {
+	acct  *Account
+	sched *simclock.Scheduler
+	cfg   Config
+
+	running      bool
+	clusters     []*cluster
+	queue        []pendingQuery
+	meter        *Meter
+	nextCluster  int
+	lastStart    time.Time // last scale-out cluster start
+	suspendEvent *simclock.Event
+	scaleGen     uint64 // invalidates stale scale-in check events
+	retryArmed   bool   // a dispatch retry is pending
+	spareChecks  int    // consecutive scale-in checks with spare capacity
+
+	// Counters for dashboards and tests.
+	resumes   int
+	suspends  int
+	coldReads int
+	completed int
+}
+
+func newWarehouse(acct *Account, cfg Config, startSuspended bool) *Warehouse {
+	w := &Warehouse{
+		acct:  acct,
+		sched: acct.sched,
+		cfg:   cfg,
+		meter: NewMeter(cfg.Name),
+	}
+	if !startSuspended {
+		w.resume(false)
+	}
+	return w
+}
+
+// Config returns the warehouse's current configuration.
+func (w *Warehouse) Config() Config { return w.cfg }
+
+// Running reports whether the warehouse is started.
+func (w *Warehouse) Running() bool { return w.running }
+
+// ActiveClusters returns the number of started clusters.
+func (w *Warehouse) ActiveClusters() int { return len(w.clusters) }
+
+// QueueLength returns the number of queries waiting for a slot.
+func (w *Warehouse) QueueLength() int { return len(w.queue) }
+
+// RunningQueries returns the number of queries currently executing.
+func (w *Warehouse) RunningQueries() int {
+	n := 0
+	for _, c := range w.clusters {
+		n += c.running
+	}
+	return n
+}
+
+// Meter exposes the billing ledger.
+func (w *Warehouse) Meter() *Meter { return w.meter }
+
+// Stats returns lifetime counters.
+func (w *Warehouse) Stats() (resumes, suspends, coldReads, completed int) {
+	return w.resumes, w.suspends, w.coldReads, w.completed
+}
+
+// Submit hands a query to the warehouse at the current virtual time.
+// If the warehouse is suspended and auto-resume is disabled, the query
+// is rejected, mirroring Snowflake's behaviour.
+func (w *Warehouse) Submit(q Query) error {
+	now := w.sched.Now()
+	resumed := false
+	if !w.running {
+		if !w.cfg.AutoResume {
+			return fmt.Errorf("cdw: warehouse %s is suspended and auto-resume is off", w.cfg.Name)
+		}
+		w.resume(true)
+		resumed = true
+	}
+	w.cancelSuspend()
+	w.queue = append(w.queue, pendingQuery{q: q, submitted: now, resumed: resumed})
+	w.dispatch()
+	return nil
+}
+
+// resume starts the warehouse with MinClusters clusters.
+func (w *Warehouse) resume(byQuery bool) {
+	now := w.sched.Now()
+	w.running = true
+	w.spareChecks = 0
+	for i := 0; i < w.cfg.MinClusters; i++ {
+		w.startCluster(now.Add(w.acct.params.ResumeDelay))
+	}
+	w.resumes++
+	w.acct.emitWarehouseEvent(WarehouseEvent{
+		Time: now, Warehouse: w.cfg.Name, Kind: EventResume, Clusters: len(w.clusters),
+	})
+	w.scheduleScaleCheck()
+	// An externally resumed warehouse with no traffic should still
+	// auto-suspend.
+	w.maybeScheduleSuspend()
+}
+
+// suspend stops all clusters and drops their caches.
+func (w *Warehouse) suspend() {
+	now := w.sched.Now()
+	if !w.running {
+		return
+	}
+	for _, c := range w.clusters {
+		w.meter.StopCluster(c.id, now)
+	}
+	w.clusters = nil
+	w.running = false
+	w.suspends++
+	w.scaleGen++ // kill pending scale-in checks
+	w.acct.emitWarehouseEvent(WarehouseEvent{
+		Time: now, Warehouse: w.cfg.Name, Kind: EventSuspend, Clusters: 0,
+	})
+}
+
+func (w *Warehouse) cancelSuspend() {
+	if w.suspendEvent != nil {
+		w.sched.Cancel(w.suspendEvent)
+		w.suspendEvent = nil
+	}
+}
+
+// maybeScheduleSuspend arms the auto-suspend timer when the warehouse is
+// completely idle.
+func (w *Warehouse) maybeScheduleSuspend() {
+	if !w.running || w.cfg.AutoSuspend <= 0 {
+		return
+	}
+	if len(w.queue) > 0 || w.RunningQueries() > 0 {
+		return
+	}
+	w.cancelSuspend()
+	w.suspendEvent = w.sched.After(w.cfg.AutoSuspend, "auto-suspend:"+w.cfg.Name, func() {
+		w.suspendEvent = nil
+		if w.running && len(w.queue) == 0 && w.RunningQueries() == 0 {
+			w.suspend()
+		}
+	})
+}
+
+// startCluster opens a new cluster billing from now with the 60s minimum.
+func (w *Warehouse) startCluster(readyAt time.Time) *cluster {
+	now := w.sched.Now()
+	c := &cluster{
+		id:        w.nextCluster,
+		readyAt:   readyAt,
+		cache:     make(map[uint64]cacheEntry),
+		idleSince: now,
+	}
+	w.nextCluster++
+	w.clusters = append(w.clusters, c)
+	w.meter.StartCluster(c.id, w.cfg.Size, now, true)
+	w.acct.emitWarehouseEvent(WarehouseEvent{
+		Time: now, Warehouse: w.cfg.Name, Kind: EventClusterStart, Clusters: len(w.clusters),
+	})
+	return c
+}
+
+// stopCluster closes a cluster's metering and removes it.
+func (w *Warehouse) stopCluster(c *cluster) {
+	now := w.sched.Now()
+	w.meter.StopCluster(c.id, now)
+	for i, cc := range w.clusters {
+		if cc == c {
+			w.clusters = append(w.clusters[:i], w.clusters[i+1:]...)
+			break
+		}
+	}
+	w.acct.emitWarehouseEvent(WarehouseEvent{
+		Time: now, Warehouse: w.cfg.Name, Kind: EventClusterStop, Clusters: len(w.clusters),
+	})
+}
+
+// dispatch assigns queued queries to clusters with free slots, scaling
+// out per the configured policy when queries would otherwise wait.
+func (w *Warehouse) dispatch() {
+	if !w.running {
+		return
+	}
+	for len(w.queue) > 0 {
+		c := w.pickCluster()
+		if c == nil {
+			if !w.maybeScaleOut() {
+				return // queue stays; capacity may free up later
+			}
+			continue
+		}
+		pq := w.queue[0]
+		w.queue = w.queue[1:]
+		w.execute(c, pq)
+	}
+}
+
+// pickCluster returns the least-loaded non-draining cluster with a free
+// slot, preferring warm (longest-running) clusters on ties so caches
+// concentrate.
+func (w *Warehouse) pickCluster() *cluster {
+	var best *cluster
+	for _, c := range w.clusters {
+		if c.draining || c.running >= w.acct.params.MaxConcurrency {
+			continue
+		}
+		if best == nil || c.running < best.running ||
+			(c.running == best.running && c.id < best.id) {
+			best = c
+		}
+	}
+	return best
+}
+
+// maybeScaleOut starts another cluster if the scaling policy calls for
+// it. Returns true if a cluster was started.
+func (w *Warehouse) maybeScaleOut() bool {
+	if len(w.clusters) >= w.cfg.MaxClusters {
+		return false
+	}
+	now := w.sched.Now()
+	p := w.acct.params
+	if !w.lastStart.IsZero() && now.Sub(w.lastStart) < p.ClusterStartSpacing {
+		// Blocked only by start spacing: retry once the window opens so
+		// queued queries are not stranded until the next completion.
+		w.scheduleDispatchRetry(w.lastStart.Add(p.ClusterStartSpacing))
+		return false
+	}
+	switch w.cfg.Policy {
+	case ScaleStandard:
+		// Start as soon as anything queues.
+		if len(w.queue) == 0 {
+			return false
+		}
+	case ScaleEconomy:
+		// Start only if the queued work would keep a new cluster busy.
+		if w.estimatedQueuedWork() < p.EconomyQueuedWork {
+			return false
+		}
+	}
+	w.lastStart = now
+	w.startCluster(now.Add(p.ClusterStartDelay))
+	return true
+}
+
+// scheduleDispatchRetry arms a one-shot re-dispatch at the given time,
+// coalescing duplicate requests.
+func (w *Warehouse) scheduleDispatchRetry(at time.Time) {
+	if w.retryArmed {
+		return
+	}
+	w.retryArmed = true
+	w.sched.Schedule(at, "dispatch-retry:"+w.cfg.Name, func() {
+		w.retryArmed = false
+		if w.running && len(w.queue) > 0 {
+			w.dispatch()
+		}
+	})
+}
+
+// estimatedQueuedWork sums the warm-cache latencies of queued queries at
+// the current size, in seconds.
+func (w *Warehouse) estimatedQueuedWork() float64 {
+	var total float64
+	for _, pq := range w.queue {
+		total += pq.q.Latency(w.cfg.Size, true).Seconds()
+	}
+	return total
+}
+
+// execute runs a query on a cluster and schedules its completion.
+func (w *Warehouse) execute(c *cluster, pq pendingQuery) {
+	now := w.sched.Now()
+	start := now
+	if c.readyAt.After(start) {
+		start = c.readyAt
+	}
+	warm := w.cacheWarm(c, pq.q.TemplateHash, start)
+	lat := pq.q.Latency(w.cfg.Size, warm)
+	if !warm {
+		w.coldReads++
+	}
+	w.touchCache(c, pq.q.TemplateHash, start.Add(lat))
+	c.running++
+	sizeAtStart := w.cfg.Size
+	clustersAtStart := len(w.clusters)
+	end := start.Add(lat)
+	w.sched.Schedule(end, "query-complete:"+w.cfg.Name, func() {
+		c.running--
+		if c.running == 0 {
+			c.idleSince = w.sched.Now()
+		}
+		w.completed++
+		rec := QueryRecord{
+			QueryID:       pq.q.ID,
+			Warehouse:     w.cfg.Name,
+			TextHash:      pq.q.TextHash,
+			TemplateHash:  pq.q.TemplateHash,
+			UserHash:      pq.q.UserHash,
+			SubmitTime:    pq.submitted,
+			StartTime:     start,
+			EndTime:       end,
+			QueueDuration: start.Sub(pq.submitted),
+			ExecDuration:  end.Sub(start),
+			BytesScanned:  pq.q.BytesScanned,
+			Size:          sizeAtStart,
+			Clusters:      clustersAtStart,
+			ColdRead:      !warm,
+			Resumed:       pq.resumed,
+		}
+		w.acct.emitQuery(rec)
+		if c.draining && c.running == 0 {
+			w.stopCluster(c)
+		}
+		w.dispatch()
+		w.maybeScheduleSuspend()
+	})
+}
+
+// cacheWarm reports whether the cluster's local cache holds the query's
+// working set.
+func (w *Warehouse) cacheWarm(c *cluster, template uint64, at time.Time) bool {
+	e, ok := c.cache[template]
+	if !ok {
+		return false
+	}
+	return at.Sub(e.lastTouch) <= w.acct.params.CacheTTL
+}
+
+// touchCache records the working set in the cluster cache, evicting the
+// stalest entry when over capacity. Capacity scales with warehouse size.
+func (w *Warehouse) touchCache(c *cluster, template uint64, at time.Time) {
+	capEntries := int(w.cfg.Size.Capacity()) * w.acct.params.CacheEntriesPerCapacity
+	c.cache[template] = cacheEntry{lastTouch: at}
+	for len(c.cache) > capEntries {
+		var oldestKey uint64
+		var oldest time.Time
+		first := true
+		for k, e := range c.cache {
+			if first || e.lastTouch.Before(oldest) ||
+				(e.lastTouch.Equal(oldest) && k < oldestKey) {
+				oldestKey, oldest, first = k, e.lastTouch, false
+			}
+		}
+		delete(c.cache, oldestKey)
+	}
+}
+
+// scheduleScaleCheck arms the periodic scale-in check for this run of
+// the warehouse. scaleGen invalidates checks scheduled before a suspend.
+func (w *Warehouse) scheduleScaleCheck() {
+	gen := w.scaleGen
+	w.sched.After(w.acct.params.ScaleInCheckEvery, "scale-check:"+w.cfg.Name, func() {
+		if gen != w.scaleGen || !w.running {
+			return
+		}
+		w.scaleInCheck()
+		w.scheduleScaleCheck()
+	})
+}
+
+// scaleInCheck shuts down a spare cluster after the policy's required
+// number of consecutive under-loaded observations.
+func (w *Warehouse) scaleInCheck() {
+	p := w.acct.params
+	need := p.StandardIdleChecks
+	if w.cfg.Policy == ScaleEconomy {
+		need = p.EconomyIdleChecks
+	}
+	if len(w.clusters) <= w.cfg.MinClusters {
+		w.spareChecks = 0
+		return
+	}
+	// Spare capacity: current load (running + queued) fits in one fewer
+	// cluster.
+	load := w.RunningQueries() + len(w.queue)
+	if load <= (len(w.clusters)-1)*p.MaxConcurrency {
+		w.spareChecks++
+	} else {
+		w.spareChecks = 0
+		return
+	}
+	if w.spareChecks < need {
+		return
+	}
+	w.spareChecks = 0
+	// Retire the most recently started idle cluster; if none is idle,
+	// drain the most recently started one.
+	var victim *cluster
+	for _, c := range w.clusters {
+		if c.running == 0 && (victim == nil || c.id > victim.id) {
+			victim = c
+		}
+	}
+	if victim != nil {
+		w.stopCluster(victim)
+		return
+	}
+	var newest *cluster
+	for _, c := range w.clusters {
+		if !c.draining && (newest == nil || c.id > newest.id) {
+			newest = c
+		}
+	}
+	if newest != nil && len(w.clusters)-w.drainingCount() > w.cfg.MinClusters {
+		newest.draining = true
+	}
+}
+
+func (w *Warehouse) drainingCount() int {
+	n := 0
+	for _, c := range w.clusters {
+		if c.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// applyAlteration mutates the warehouse per an ALTER WAREHOUSE-style
+// request. It is called by the Account so the change is logged there.
+func (w *Warehouse) applyAlteration(a Alteration) error {
+	now := w.sched.Now()
+	newCfg := a.Apply(w.cfg)
+	if err := newCfg.Validate(); err != nil {
+		return err
+	}
+	resized := newCfg.Size != w.cfg.Size
+	w.cfg = newCfg
+
+	if resized && w.running {
+		w.meter.Resize(newCfg.Size, now)
+	}
+	if w.running {
+		// Enforce new cluster bounds.
+		for len(w.clusters)-w.drainingCount() > w.cfg.MaxClusters {
+			var victim *cluster
+			for _, c := range w.clusters {
+				if c.running == 0 && !c.draining && (victim == nil || c.id > victim.id) {
+					victim = c
+				}
+			}
+			if victim != nil {
+				w.stopCluster(victim)
+				continue
+			}
+			var newest *cluster
+			for _, c := range w.clusters {
+				if !c.draining && (newest == nil || c.id > newest.id) {
+					newest = c
+				}
+			}
+			if newest == nil {
+				break
+			}
+			newest.draining = true
+		}
+		for len(w.clusters) < w.cfg.MinClusters {
+			w.startCluster(now.Add(w.acct.params.ClusterStartDelay))
+		}
+	}
+	if a.Suspend && w.running {
+		// Snowflake lets in-flight queries finish; we approximate by
+		// suspending once idle, or immediately if already idle.
+		if w.RunningQueries() == 0 && len(w.queue) == 0 {
+			w.cancelSuspend()
+			w.suspend()
+		}
+	}
+	if a.Resume && !w.running {
+		w.resume(false)
+	}
+	// AutoSuspend change may shorten or lengthen an armed timer.
+	w.maybeScheduleSuspend()
+	return nil
+}
+
+// Utilization returns the fraction of occupied slots across non-draining
+// clusters, 0 when suspended.
+func (w *Warehouse) Utilization() float64 {
+	if !w.running || len(w.clusters) == 0 {
+		return 0
+	}
+	slots := 0
+	used := 0
+	for _, c := range w.clusters {
+		if c.draining {
+			continue
+		}
+		slots += w.acct.params.MaxConcurrency
+		used += c.running
+	}
+	if slots == 0 {
+		return 0
+	}
+	return float64(used) / float64(slots)
+}

@@ -1,0 +1,225 @@
+// Package consolidate implements the warehouse-consolidation analysis
+// the paper lists among warehouse optimization decisions (§1:
+// "consolidating multiple warehouses into one, and load balancing
+// decisions"). Given the telemetry of several warehouses, it determines
+// whether their combined load would fit a single multi-cluster
+// warehouse, estimates the cost of the merged configuration with the
+// same analytical machinery as the cost model, and emits a
+// recommendation with the predicted savings and the risk signals a
+// human (or the engine) should weigh.
+package consolidate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/costmodel"
+	"kwo/internal/ml"
+	"kwo/internal/telemetry"
+)
+
+// Candidate is one warehouse considered for consolidation.
+type Candidate struct {
+	Config cdw.Config
+	Log    *telemetry.WarehouseLog
+	// ActualCredits is the warehouse's billed cost over the analysis
+	// window.
+	ActualCredits float64
+}
+
+// Recommendation is the analysis outcome.
+type Recommendation struct {
+	From, To time.Time
+	// Warehouses lists the analyzed warehouse names.
+	Warehouses []string
+	// Consolidate is true when merging is predicted to save without
+	// breaching the capacity bound.
+	Consolidate bool
+	// Target is the proposed merged configuration (valid only when
+	// Consolidate is true).
+	Target cdw.Config
+	// CurrentCredits is the summed actual cost of the candidates.
+	CurrentCredits float64
+	// MergedCredits is the estimated cost of the merged warehouse over
+	// the same window.
+	MergedCredits float64
+	// SavingsPercent is the predicted relative saving.
+	SavingsPercent float64
+	// PeakLoadClusters is the combined peak offered load in cluster
+	// equivalents of the target size.
+	PeakLoadClusters float64
+	// Reasons collects human-readable notes (why / why not).
+	Reasons []string
+}
+
+// String renders the recommendation for the portal.
+func (r Recommendation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Consolidation analysis %s → %s over %v\n",
+		strings.Join(r.Warehouses, " + "),
+		r.Target.Name, r.To.Sub(r.From).Round(time.Hour))
+	if r.Consolidate {
+		fmt.Fprintf(&b, "  RECOMMENDED: merge into one %s warehouse with %d–%d clusters\n",
+			r.Target.Size, r.Target.MinClusters, r.Target.MaxClusters)
+	} else {
+		b.WriteString("  NOT RECOMMENDED\n")
+	}
+	fmt.Fprintf(&b, "  current cost:  %.2f credits\n", r.CurrentCredits)
+	fmt.Fprintf(&b, "  merged cost:   %.2f credits (%.1f%% saving)\n", r.MergedCredits, r.SavingsPercent)
+	fmt.Fprintf(&b, "  peak combined load: %.1f clusters of %s\n", r.PeakLoadClusters, r.Target.Size)
+	for _, reason := range r.Reasons {
+		fmt.Fprintf(&b, "  - %s\n", reason)
+	}
+	return b.String()
+}
+
+// Params tunes the analysis.
+type Params struct {
+	// Window is the mini-window used for load profiles.
+	Window time.Duration
+	// Slots is the per-cluster concurrency of the CDW.
+	Slots int
+	// MaxClusters bounds the merged warehouse's scale-out.
+	MaxClusters int
+	// Headroom is the spare capacity fraction required at combined
+	// peak (e.g. 0.3 keeps 30% slack).
+	Headroom float64
+	// MinSavings is the minimum relative saving (0..1) to recommend.
+	MinSavings float64
+}
+
+// DefaultParams returns conservative defaults.
+func DefaultParams() Params {
+	return Params{
+		Window:      costmodel.MiniWindow,
+		Slots:       8,
+		MaxClusters: 10,
+		Headroom:    0.3,
+		MinSavings:  0.10,
+	}
+}
+
+// Analyze evaluates merging the candidates over [from, to).
+func Analyze(cands []Candidate, from, to time.Time, p Params) (Recommendation, error) {
+	if len(cands) < 2 {
+		return Recommendation{}, fmt.Errorf("consolidate: need at least two warehouses, got %d", len(cands))
+	}
+	if p.Window <= 0 {
+		p.Window = costmodel.MiniWindow
+	}
+	if p.Slots <= 0 {
+		p.Slots = 8
+	}
+	rec := Recommendation{From: from, To: to}
+	var names []string
+	for _, c := range cands {
+		names = append(names, c.Config.Name)
+		rec.CurrentCredits += c.ActualCredits
+	}
+	sort.Strings(names)
+	rec.Warehouses = names
+
+	// Target size: the largest candidate size, so no workload slows
+	// down after the merge (C4); latency can only improve for the
+	// smaller warehouses' queries.
+	target := cands[0].Config
+	for _, c := range cands[1:] {
+		if c.Config.Size > target.Size {
+			target.Size = c.Config.Size
+		}
+		if c.Config.AutoSuspend > 0 &&
+			(target.AutoSuspend == 0 || c.Config.AutoSuspend < target.AutoSuspend) {
+			target.AutoSuspend = c.Config.AutoSuspend
+		}
+	}
+	target.Name = "CONSOLIDATED_WH"
+	target.MinClusters = 1
+	target.AutoResume = true
+
+	// Combined per-window load profile in cluster equivalents of the
+	// target size: each warehouse's offered load is rescaled from the
+	// size it ran at to the target size.
+	nWindows := int(to.Sub(from) / p.Window)
+	if nWindows <= 0 {
+		return Recommendation{}, fmt.Errorf("consolidate: empty analysis window")
+	}
+	loads := make([]float64, nWindows)
+	busyWindows := 0
+	for _, c := range cands {
+		lm := costmodel.FitLatency(c.Log.TemplateObservations(from, to))
+		for i := 0; i < nWindows; i++ {
+			ws := c.Log.Stats(from.Add(time.Duration(i)*p.Window), from.Add(time.Duration(i+1)*p.Window))
+			if ws.Queries == 0 {
+				continue
+			}
+			execAtTarget := lm.ScaleExec(0, ws.AvgExec.Seconds(),
+				cdw.Size(int(math.Round(ws.AvgSize))).Clamp(cdw.MinSize, cdw.MaxSize), target.Size)
+			loads[i] += ws.QPH / 3600 * execAtTarget / float64(p.Slots)
+		}
+	}
+	var peak float64
+	for _, l := range loads {
+		if l > 0 {
+			busyWindows++
+		}
+		if l > peak {
+			peak = l
+		}
+	}
+	rec.PeakLoadClusters = peak
+
+	// Required clusters at peak with headroom.
+	needed := int(math.Ceil(peak / (1 - p.Headroom)))
+	if needed < 1 {
+		needed = 1
+	}
+	target.MaxClusters = needed
+	rec.Target = target
+
+	if needed > p.MaxClusters {
+		rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+			"combined peak needs %d clusters, above the %d-cluster bound", needed, p.MaxClusters))
+		return rec, nil
+	}
+
+	// Merged cost estimate: per busy window, billed time ≈ window
+	// (the merged warehouse runs when any member would) × predicted
+	// clusters; idle tail follows the merged auto-suspend.
+	rate := target.Size.CreditsPerHour()
+	var merged float64
+	prevBusy := false
+	for i := 0; i < nWindows; i++ {
+		if loads[i] <= 0 {
+			if prevBusy {
+				merged += rate * target.AutoSuspend.Hours() // idle tail
+			}
+			prevBusy = false
+			continue
+		}
+		clusters := ml.Clamp(loads[i]/0.7, 1, float64(target.MaxClusters))
+		merged += rate * p.Window.Hours() * clusters
+		prevBusy = true
+	}
+	rec.MergedCredits = merged
+	if rec.CurrentCredits > 0 {
+		rec.SavingsPercent = 100 * (1 - merged/rec.CurrentCredits)
+	}
+
+	if merged >= rec.CurrentCredits*(1-p.MinSavings) {
+		rec.Reasons = append(rec.Reasons, fmt.Sprintf(
+			"predicted saving %.1f%% below the %.0f%% threshold",
+			rec.SavingsPercent, p.MinSavings*100))
+		return rec, nil
+	}
+	rec.Consolidate = true
+	rec.Reasons = append(rec.Reasons,
+		fmt.Sprintf("combined load fits %d clusters of %s with %.0f%% headroom",
+			target.MaxClusters, target.Size, p.Headroom*100),
+		fmt.Sprintf("overlapping idle periods are billed once instead of %d times", len(cands)),
+	)
+	return rec, nil
+}

@@ -1,0 +1,132 @@
+package consolidate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/simclock"
+	"kwo/internal/telemetry"
+	"kwo/internal/workload"
+)
+
+var t0 = simclock.Epoch
+
+// buildCandidate runs a workload on its own warehouse and returns the
+// candidate with real telemetry and billing.
+func buildCandidate(t *testing.T, name string, size cdw.Size, gen workload.Generator,
+	days int, seed int64) Candidate {
+	t.Helper()
+	sched := simclock.NewScheduler(seed)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	store := telemetry.NewStore()
+	acct.Subscribe(store)
+	cfg := cdw.Config{Name: name, Size: size, MinClusters: 1, MaxClusters: 2,
+		AutoSuspend: 10 * time.Minute, AutoResume: true}
+	if _, err := acct.CreateWarehouse(cfg); err != nil {
+		t.Fatal(err)
+	}
+	to := t0.Add(time.Duration(days) * 24 * time.Hour)
+	workload.Drive(sched, acct, name, gen.Generate(t0, to, sched.Rand("wl")))
+	sched.RunUntil(to.Add(time.Hour))
+	wh, _ := acct.Warehouse(name)
+	return Candidate{
+		Config: cfg, Log: store.Log(name),
+		ActualCredits: wh.Meter().CreditsBetween(t0, to, sched.Now()),
+	}
+}
+
+func TestRecommendsMergingUnderutilizedWarehouses(t *testing.T) {
+	// Three lightly used warehouses with overlapping business-hours
+	// idle tails: a classic consolidation win.
+	biPool, _, _ := workload.StandardPools()
+	days := 2
+	var cands []Candidate
+	for i, name := range []string{"TEAM_A", "TEAM_B", "TEAM_C"} {
+		gen := workload.BI{Pool: biPool, PeakQPH: 10, WeekendFactor: 0.2}
+		cands = append(cands, buildCandidate(t, name, cdw.SizeSmall, gen, days, int64(i+1)))
+	}
+	to := t0.Add(time.Duration(days) * 24 * time.Hour)
+	rec, err := Analyze(cands, t0, to, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("current %.1f merged %.1f (%.1f%%) peak %.2f clusters",
+		rec.CurrentCredits, rec.MergedCredits, rec.SavingsPercent, rec.PeakLoadClusters)
+	if !rec.Consolidate {
+		t.Fatalf("merge of underutilized warehouses not recommended: %+v", rec.Reasons)
+	}
+	if rec.SavingsPercent < 10 {
+		t.Fatalf("savings %.1f%% too small", rec.SavingsPercent)
+	}
+	if rec.Target.Size != cdw.SizeSmall {
+		t.Fatalf("target size %v, want Small (largest member)", rec.Target.Size)
+	}
+	if len(rec.Warehouses) != 3 {
+		t.Fatalf("warehouses = %v", rec.Warehouses)
+	}
+	if !strings.Contains(rec.String(), "RECOMMENDED") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRejectsOverloadedMerge(t *testing.T) {
+	// Two saturated warehouses running heavy multi-minute jobs at high
+	// rate: combined peak cannot fit the cluster bound with headroom.
+	_, etlPool, _ := workload.StandardPools()
+	days := 1
+	var cands []Candidate
+	for i, name := range []string{"HOT_A", "HOT_B"} {
+		gen := workload.BI{Pool: etlPool, PeakQPH: 600, WeekendFactor: 0.2}
+		cands = append(cands, buildCandidate(t, name, cdw.SizeXSmall, gen, days, int64(i+10)))
+	}
+	to := t0.Add(time.Duration(days) * 24 * time.Hour)
+	p := DefaultParams()
+	p.MaxClusters = 1
+	rec, err := Analyze(cands, t0, to, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Consolidate {
+		t.Fatal("overloaded merge recommended")
+	}
+	if len(rec.Reasons) == 0 || !strings.Contains(rec.Reasons[0], "cluster") {
+		t.Fatalf("reasons = %v", rec.Reasons)
+	}
+}
+
+func TestTargetTakesLargestSizeAndShortestSuspend(t *testing.T) {
+	biPool, _, _ := workload.StandardPools()
+	gen := workload.BI{Pool: biPool, PeakQPH: 10, WeekendFactor: 0.2}
+	a := buildCandidate(t, "A", cdw.SizeSmall, gen, 1, 1)
+	b := buildCandidate(t, "B", cdw.SizeLarge, gen, 1, 2)
+	b.Config.AutoSuspend = 3 * time.Minute
+	to := t0.Add(24 * time.Hour)
+	rec, err := Analyze([]Candidate{a, b}, t0, to, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Target.Size != cdw.SizeLarge {
+		t.Fatalf("target size %v, want Large", rec.Target.Size)
+	}
+	if rec.Target.AutoSuspend != 3*time.Minute {
+		t.Fatalf("target suspend %v, want 3m", rec.Target.AutoSuspend)
+	}
+	if err := rec.Target.Validate(); err != nil {
+		t.Fatalf("target invalid: %v", err)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	biPool, _, _ := workload.StandardPools()
+	gen := workload.BI{Pool: biPool, PeakQPH: 10}
+	one := buildCandidate(t, "A", cdw.SizeSmall, gen, 1, 1)
+	if _, err := Analyze([]Candidate{one}, t0, t0.Add(time.Hour), DefaultParams()); err == nil {
+		t.Fatal("single warehouse accepted")
+	}
+	two := []Candidate{one, buildCandidate(t, "B", cdw.SizeSmall, gen, 1, 2)}
+	if _, err := Analyze(two, t0, t0, DefaultParams()); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package consolidate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"kwo/internal/costmodel"
+)
+
+// Move is one load-balancing suggestion: route the given query
+// templates from one warehouse to another.
+type Move struct {
+	From      string
+	To        string
+	Templates []uint64
+	// LoadClusters is the offered load being moved, in cluster
+	// equivalents of the destination's size.
+	LoadClusters float64
+}
+
+// BalanceReport is the outcome of a load-balancing analysis across an
+// account's warehouses (§1: "load balancing decisions").
+type BalanceReport struct {
+	From, To time.Time
+	// Hot lists warehouses with sustained queueing at their scale-out
+	// bound; Cold lists warehouses with ample spare capacity.
+	Hot  []string
+	Cold []string
+	// Moves are the suggested template reroutes (empty when balanced).
+	Moves   []Move
+	Reasons []string
+}
+
+// Balanced reports whether no moves are needed.
+func (r BalanceReport) Balanced() bool { return len(r.Moves) == 0 }
+
+// String renders the report.
+func (r BalanceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Load-balance analysis over %v\n", r.To.Sub(r.From).Round(time.Hour))
+	if r.Balanced() {
+		b.WriteString("  account is balanced; no moves suggested\n")
+	}
+	for _, m := range r.Moves {
+		fmt.Fprintf(&b, "  MOVE %d templates (%.2f clusters of load) from %s to %s\n",
+			len(m.Templates), m.LoadClusters, m.From, m.To)
+	}
+	for _, reason := range r.Reasons {
+		fmt.Fprintf(&b, "  - %s\n", reason)
+	}
+	return b.String()
+}
+
+// warehouseLoad summarizes one warehouse's pressure over the window.
+type warehouseLoad struct {
+	cand Candidate
+	// peakLoad is the peak offered load in cluster equivalents of the
+	// warehouse's own size.
+	peakLoad float64
+	// queueP99 is the window-wide p99 queueing.
+	queueP99 time.Duration
+	// perTemplate is the offered load contributed by each template.
+	perTemplate map[uint64]float64
+}
+
+// AnalyzeBalance looks for hot/cold warehouse pairs and suggests
+// template moves that relieve queueing without overloading the
+// destination.
+func AnalyzeBalance(cands []Candidate, from, to time.Time, p Params) (BalanceReport, error) {
+	if len(cands) < 2 {
+		return BalanceReport{}, fmt.Errorf("consolidate: need at least two warehouses, got %d", len(cands))
+	}
+	if p.Window <= 0 {
+		p.Window = costmodel.MiniWindow
+	}
+	if p.Slots <= 0 {
+		p.Slots = 8
+	}
+	rep := BalanceReport{From: from, To: to}
+	nWindows := int(to.Sub(from) / p.Window)
+	if nWindows <= 0 {
+		return rep, fmt.Errorf("consolidate: empty analysis window")
+	}
+
+	loads := make([]*warehouseLoad, 0, len(cands))
+	for _, c := range cands {
+		wl := &warehouseLoad{cand: c, perTemplate: map[uint64]float64{}}
+		stats := c.Log.Stats(from, to)
+		wl.queueP99 = stats.P99Queue
+		for i := 0; i < nWindows; i++ {
+			ws := c.Log.Stats(from.Add(time.Duration(i)*p.Window), from.Add(time.Duration(i+1)*p.Window))
+			if ws.Queries == 0 {
+				continue
+			}
+			load := ws.QPH / 3600 * ws.AvgExec.Seconds() / float64(p.Slots)
+			if load > wl.peakLoad {
+				wl.peakLoad = load
+			}
+		}
+		// Per-template offered load across the whole window.
+		windowHours := to.Sub(from).Hours()
+		for tmpl, obs := range c.Log.TemplateObservations(from, to) {
+			var secs float64
+			for _, o := range obs {
+				secs += o.ExecSecs
+			}
+			wl.perTemplate[tmpl] = secs / 3600 / windowHours / float64(p.Slots)
+		}
+		loads = append(loads, wl)
+	}
+
+	// Classify: hot = queueing at (or near) the scale-out bound;
+	// cold = well under capacity.
+	var hot, cold []*warehouseLoad
+	for _, wl := range loads {
+		capacity := float64(wl.cand.Config.MaxClusters)
+		switch {
+		case wl.queueP99 >= 2*time.Second && wl.peakLoad >= 0.7*capacity:
+			hot = append(hot, wl)
+			rep.Hot = append(rep.Hot, wl.cand.Config.Name)
+		case wl.peakLoad <= 0.4*capacity:
+			cold = append(cold, wl)
+			rep.Cold = append(rep.Cold, wl.cand.Config.Name)
+		}
+	}
+	sort.Strings(rep.Hot)
+	sort.Strings(rep.Cold)
+	if len(hot) == 0 {
+		rep.Reasons = append(rep.Reasons, "no warehouse shows sustained queueing at its cluster bound")
+		return rep, nil
+	}
+	if len(cold) == 0 {
+		rep.Reasons = append(rep.Reasons, "no warehouse has spare capacity to receive load")
+		return rep, nil
+	}
+
+	// Greedy: move the hottest warehouse's heaviest templates to the
+	// coldest warehouse until the hot one's peak fits with headroom.
+	for _, h := range hot {
+		dst := cold[0]
+		for _, c := range cold[1:] {
+			if c.peakLoad/float64(c.cand.Config.MaxClusters) <
+				dst.peakLoad/float64(dst.cand.Config.MaxClusters) {
+				dst = c
+			}
+		}
+		target := (1 - p.Headroom) * float64(h.cand.Config.MaxClusters)
+		excess := h.peakLoad - target
+		if excess <= 0 {
+			continue
+		}
+		type tl struct {
+			tmpl uint64
+			load float64
+		}
+		var ranked []tl
+		for tmpl, load := range h.perTemplate {
+			ranked = append(ranked, tl{tmpl, load})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].load == ranked[j].load {
+				return ranked[i].tmpl < ranked[j].tmpl
+			}
+			return ranked[i].load > ranked[j].load
+		})
+		dstSpare := (1-p.Headroom)*float64(dst.cand.Config.MaxClusters) - dst.peakLoad
+		move := Move{From: h.cand.Config.Name, To: dst.cand.Config.Name}
+		for _, r := range ranked {
+			if move.LoadClusters >= excess || move.LoadClusters+r.load > dstSpare {
+				break
+			}
+			move.Templates = append(move.Templates, r.tmpl)
+			move.LoadClusters += r.load
+		}
+		if len(move.Templates) > 0 {
+			rep.Moves = append(rep.Moves, move)
+			rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+				"%s queues (p99 %v) at %.1f/%d clusters; %s runs at %.1f/%d",
+				h.cand.Config.Name, h.queueP99.Round(100*time.Millisecond),
+				h.peakLoad, h.cand.Config.MaxClusters,
+				dst.cand.Config.Name, dst.peakLoad, dst.cand.Config.MaxClusters))
+		}
+	}
+	if len(rep.Moves) == 0 {
+		rep.Reasons = append(rep.Reasons, "hot warehouses' excess does not fit any cold warehouse's spare capacity")
+	}
+	return rep, nil
+}

@@ -1,0 +1,107 @@
+package consolidate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/workload"
+)
+
+func TestBalanceSuggestsMoveFromHotToCold(t *testing.T) {
+	// HOT: a single-cluster warehouse drowning in heavy jobs.
+	_, etlPool, _ := workload.StandardPools()
+	hotGen := workload.BI{Pool: etlPool, PeakQPH: 400, WeekendFactor: 0.2}
+	hot := buildCandidate(t, "HOT", cdw.SizeXSmall, hotGen, 1, 1)
+	hot.Config.MaxClusters = 1
+
+	// COLD: a barely used warehouse of the same size.
+	biPool, _, _ := workload.StandardPools()
+	coldGen := workload.BI{Pool: biPool, PeakQPH: 4, WeekendFactor: 0.2}
+	cold := buildCandidate(t, "COLD", cdw.SizeXSmall, coldGen, 1, 2)
+	cold.Config.MaxClusters = 4
+
+	to := t0.Add(24 * time.Hour)
+	rep, err := AnalyzeBalance([]Candidate{hot, cold}, t0, to, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hot=%v cold=%v moves=%d", rep.Hot, rep.Cold, len(rep.Moves))
+	if len(rep.Hot) != 1 || rep.Hot[0] != "HOT" {
+		t.Fatalf("hot = %v", rep.Hot)
+	}
+	if len(rep.Cold) != 1 || rep.Cold[0] != "COLD" {
+		t.Fatalf("cold = %v", rep.Cold)
+	}
+	if rep.Balanced() {
+		t.Fatal("no moves suggested for an obviously imbalanced pair")
+	}
+	m := rep.Moves[0]
+	if m.From != "HOT" || m.To != "COLD" || len(m.Templates) == 0 || m.LoadClusters <= 0 {
+		t.Fatalf("move = %+v", m)
+	}
+	if !strings.Contains(rep.String(), "MOVE") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestBalanceQuietAccount(t *testing.T) {
+	biPool, _, _ := workload.StandardPools()
+	gen := workload.BI{Pool: biPool, PeakQPH: 6, WeekendFactor: 0.2}
+	a := buildCandidate(t, "A", cdw.SizeSmall, gen, 1, 1)
+	b := buildCandidate(t, "B", cdw.SizeSmall, gen, 1, 2)
+	to := t0.Add(24 * time.Hour)
+	rep, err := AnalyzeBalance([]Candidate{a, b}, t0, to, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Balanced() {
+		t.Fatalf("quiet account produced moves: %+v", rep.Moves)
+	}
+	if len(rep.Hot) != 0 {
+		t.Fatalf("quiet account marked hot: %v", rep.Hot)
+	}
+	if !strings.Contains(rep.String(), "balanced") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestBalanceNoColdReceiver(t *testing.T) {
+	_, etlPool, _ := workload.StandardPools()
+	gen := workload.BI{Pool: etlPool, PeakQPH: 400, WeekendFactor: 0.2}
+	a := buildCandidate(t, "A", cdw.SizeXSmall, gen, 1, 1)
+	a.Config.MaxClusters = 1
+	b := buildCandidate(t, "B", cdw.SizeXSmall, gen, 1, 2)
+	b.Config.MaxClusters = 1
+	to := t0.Add(24 * time.Hour)
+	rep, err := AnalyzeBalance([]Candidate{a, b}, t0, to, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Balanced() {
+		t.Fatalf("moves suggested with no cold receiver: %+v", rep.Moves)
+	}
+	found := false
+	for _, r := range rep.Reasons {
+		if strings.Contains(r, "spare capacity") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reasons = %v", rep.Reasons)
+	}
+}
+
+func TestBalanceErrors(t *testing.T) {
+	biPool, _, _ := workload.StandardPools()
+	gen := workload.BI{Pool: biPool, PeakQPH: 5}
+	one := buildCandidate(t, "A", cdw.SizeSmall, gen, 1, 1)
+	if _, err := AnalyzeBalance([]Candidate{one}, t0, t0.Add(time.Hour), DefaultParams()); err == nil {
+		t.Fatal("single warehouse accepted")
+	}
+	two := []Candidate{one, buildCandidate(t, "B", cdw.SizeSmall, gen, 1, 2)}
+	if _, err := AnalyzeBalance(two, t0, t0, DefaultParams()); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/policy"
+	"kwo/internal/simclock"
+	"kwo/internal/workload"
+)
+
+var t0 = simclock.Epoch
+
+// testOptions returns engine options downsized for fast tests.
+func testOptions() Options {
+	opts := DefaultOptions()
+	opts.PretrainSteps = 150
+	opts.TrainEvery = 6 * time.Hour
+	return opts
+}
+
+// scenario runs preDays of workload without KWO, attaches the engine
+// with the given settings, and runs kwoDays more.
+type scenario struct {
+	sched  *simclock.Scheduler
+	acct   *cdw.Account
+	engine *Engine
+	sm     *SmartModel
+	attach time.Time
+	end    time.Time
+}
+
+func runScenario(t *testing.T, seed int64, orig cdw.Config, gen workload.Generator,
+	preDays, kwoDays int, settings WarehouseSettings, opts Options) *scenario {
+	t.Helper()
+	sched := simclock.NewScheduler(seed)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	engine := NewEngine(acct, opts)
+	if _, err := acct.CreateWarehouse(orig); err != nil {
+		t.Fatal(err)
+	}
+	end := t0.Add(time.Duration(preDays+kwoDays) * 24 * time.Hour)
+	arr := gen.Generate(t0, end, sched.Rand("workload"))
+	workload.Drive(sched, acct, orig.Name, arr)
+
+	attach := t0.Add(time.Duration(preDays) * 24 * time.Hour)
+	sched.RunUntil(attach)
+	sm, err := engine.Attach(orig.Name, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+	sched.RunUntil(end.Add(time.Hour))
+	return &scenario{sched: sched, acct: acct, engine: engine, sm: sm,
+		attach: attach, end: end}
+}
+
+func biWorkload() (cdw.Config, workload.Generator) {
+	biPool, _, _ := workload.StandardPools()
+	cfg := cdw.Config{
+		Name: "BI_WH", Size: cdw.SizeLarge, MinClusters: 1, MaxClusters: 1,
+		Policy: cdw.ScaleStandard, AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}
+	return cfg, workload.BI{Pool: biPool, PeakQPH: 60, WeekendFactor: 0.3}
+}
+
+func TestEngineSavesOnOversizedWarehouse(t *testing.T) {
+	cfg, gen := biWorkload()
+	sc := runScenario(t, 1, cfg, gen, 3, 5, DefaultSettings(), testOptions())
+
+	wh, _ := sc.acct.Warehouse("BI_WH")
+	now := sc.sched.Now()
+	preDaily := wh.Meter().CreditsBetween(t0, sc.attach, now) / 3
+	// Skip the first with-KWO day (ramp-up) when judging steady state.
+	steadyFrom := sc.attach.Add(24 * time.Hour)
+	kwoDaily := wh.Meter().CreditsBetween(steadyFrom, sc.end, now) / 4
+
+	if preDaily <= 0 {
+		t.Fatal("no pre-KWO spend")
+	}
+	reduction := 1 - kwoDaily/preDaily
+	t.Logf("daily credits: pre=%.1f with=%.1f (reduction %.0f%%), actions=%d reverts=%d",
+		preDaily, kwoDaily, reduction*100, sc.sm.Applied, sc.sm.Reverts)
+	if reduction < 0.20 {
+		t.Fatalf("savings %.1f%% below the paper's 20%% floor", reduction*100)
+	}
+	if sc.sm.Applied == 0 {
+		t.Fatal("engine never acted")
+	}
+
+	// Performance guardrail: p99 must not explode.
+	log := sc.engine.Store().Log("BI_WH")
+	preP99 := log.Stats(t0, sc.attach).P99Latency
+	kwoP99 := log.Stats(steadyFrom, sc.end).P99Latency
+	t.Logf("p99: pre=%v with=%v", preP99, kwoP99)
+	if kwoP99 > 6*preP99 {
+		t.Fatalf("p99 exploded: %v → %v", preP99, kwoP99)
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	cfg, gen := biWorkload()
+	run := func() (float64, int) {
+		sc := runScenario(t, 7, cfg, gen, 2, 2, DefaultSettings(), testOptions())
+		wh, _ := sc.acct.Warehouse("BI_WH")
+		return wh.Meter().TotalCredits(sc.sched.Now()), sc.sm.Applied
+	}
+	c1, a1 := run()
+	c2, a2 := run()
+	if c1 != c2 || a1 != a2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", c1, a1, c2, a2)
+	}
+}
+
+func TestConstraintsNeverViolated(t *testing.T) {
+	cfg, gen := biWorkload()
+	minSize := cdw.SizeMedium
+	settings := WarehouseSettings{
+		Slider: policy.LowestCost, // maximum pressure on the constraint
+		Constraints: policy.Constraints{
+			{Name: "size floor", MinSize: &minSize},
+			{Name: "protect mornings", Days: []time.Weekday{time.Monday, time.Tuesday,
+				time.Wednesday, time.Thursday, time.Friday},
+				StartMinute: 9 * 60, EndMinute: 10 * 60, NoDownsize: true},
+		},
+	}
+	sc := runScenario(t, 2, cfg, gen, 2, 5, settings, testOptions())
+
+	// Audit every change KWO made.
+	for _, ch := range sc.acct.Changes() {
+		if ch.Actor != "kwo" {
+			continue
+		}
+		if ch.After.Size < minSize {
+			t.Fatalf("constraint violated: size %v set at %v", ch.After.Size, ch.Time)
+		}
+		if ch.After.Size < ch.Before.Size {
+			min := ch.Time.Hour()*60 + ch.Time.Minute()
+			wd := ch.Time.Weekday()
+			weekday := wd != time.Saturday && wd != time.Sunday
+			if weekday && min >= 9*60 && min < 10*60 {
+				t.Fatalf("downsize during protected window at %v", ch.Time)
+			}
+		}
+	}
+	if sc.sm.Applied == 0 {
+		t.Fatal("engine never acted under constraints")
+	}
+}
+
+func TestConstraintEnforcementWindow(t *testing.T) {
+	cfg, gen := biWorkload()
+	xl := cdw.SizeXLarge
+	three := 3
+	cfg.MaxClusters = 4
+	settings := DefaultSettings()
+	settings.Constraints = policy.Constraints{{
+		Name: "morning rush", StartMinute: 9 * 60, EndMinute: 9*60 + 30,
+		EnforceSize: &xl, MinClusters: &three,
+	}}
+	sc := runScenario(t, 3, cfg, gen, 1, 2, settings, testOptions())
+	if sc.sm.Constrained == 0 {
+		t.Fatal("enforcement window never fired")
+	}
+	// Find an enforcement change in the audit log inside the window.
+	found := false
+	for _, ch := range sc.acct.Changes() {
+		min := ch.Time.Hour()*60 + ch.Time.Minute()
+		if ch.Actor == "kwo" && min >= 9*60 && min < 9*60+30 &&
+			ch.After.Size == cdw.SizeXLarge && ch.After.MinClusters >= 3 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no compliant enforcement change found in audit log")
+	}
+}
+
+func TestExternalChangePausesOptimization(t *testing.T) {
+	cfg, gen := biWorkload()
+	opts := testOptions()
+	sc := func() *scenario {
+		sched := simclock.NewScheduler(4)
+		acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+		engine := NewEngine(acct, opts)
+		acct.CreateWarehouse(cfg)
+		end := t0.Add(5 * 24 * time.Hour)
+		arr := gen.Generate(t0, end, sched.Rand("workload"))
+		workload.Drive(sched, acct, cfg.Name, arr)
+		sched.RunUntil(t0.Add(24 * time.Hour))
+		sm, _ := engine.Attach(cfg.Name, DefaultSettings())
+		engine.Start()
+		// External admin resizes at day 2.5.
+		sched.Schedule(t0.Add(60*time.Hour), "external", func() {
+			acct.Alter(cfg.Name, cdw.Alteration{Size: cdw.SizeP(cdw.Size2XLarge)}, "dba-jane")
+		})
+		sched.RunUntil(end)
+		return &scenario{sched: sched, acct: acct, engine: engine, sm: sm, end: end}
+	}()
+
+	if !sc.sm.Paused() {
+		t.Fatal("external change did not pause optimization")
+	}
+	if sc.sm.Pauses == 0 {
+		t.Fatal("pause counter zero")
+	}
+	// No KWO-actor changes after the external change.
+	extAt := t0.Add(60 * time.Hour)
+	for _, ch := range sc.acct.Changes() {
+		if ch.Actor == "kwo" && ch.Time.After(extAt.Add(time.Minute)) {
+			t.Fatalf("KWO acted while paused: %+v", ch)
+		}
+	}
+	// Admin explicitly resumes.
+	wh, _ := sc.acct.Warehouse(cfg.Name)
+	sc.sm.ResumeOptimization(wh.Config())
+	if sc.sm.Paused() {
+		t.Fatal("resume ignored")
+	}
+}
+
+func TestOverheadNegligible(t *testing.T) {
+	cfg, gen := biWorkload()
+	sc := runScenario(t, 5, cfg, gen, 2, 3, DefaultSettings(), testOptions())
+	wh, _ := sc.acct.Warehouse("BI_WH")
+	now := sc.sched.Now()
+	actual := wh.Meter().CreditsBetween(sc.attach, sc.end, now)
+	overhead := sc.acct.OverheadBetween(sc.attach, sc.end)
+	if overhead <= 0 {
+		t.Fatal("no overhead metered")
+	}
+	if overhead > 0.02*actual {
+		t.Fatalf("overhead %.3f is %.1f%% of spend %.1f — not negligible",
+			overhead, 100*overhead/actual, actual)
+	}
+}
+
+func TestBillingInvoices(t *testing.T) {
+	cfg, gen := biWorkload()
+	sc := runScenario(t, 6, cfg, gen, 2, 3, DefaultSettings(), testOptions())
+	invs := sc.engine.Ledger().Invoices()
+	if len(invs) < 2 {
+		t.Fatalf("invoices = %d, want >= 2 (daily billing over 3 days)", len(invs))
+	}
+	for _, inv := range invs {
+		if inv.Charge < 0 || inv.Charge > inv.Savings*inv.Rate+1e-9 {
+			t.Fatalf("bad invoice: %+v", inv)
+		}
+	}
+	if sc.engine.Ledger().TotalSavings() <= 0 {
+		t.Fatal("no savings invoiced on an oversized warehouse")
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	cfg, gen := biWorkload()
+	sc := runScenario(t, 8, cfg, gen, 2, 3, DefaultSettings(), testOptions())
+	rep, err := sc.engine.Report("BI_WH", sc.attach, sc.end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 || rep.ActualCredits <= 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.WithoutKeebo <= 0 {
+		t.Fatal("no counterfactual estimate")
+	}
+	if rep.Savings != rep.WithoutKeebo-rep.ActualCredits && rep.Savings != 0 {
+		t.Fatal("savings arithmetic wrong")
+	}
+	if math.Abs(rep.CostPerQuery-rep.ActualCredits/float64(rep.Queries)) > 1e-9 {
+		t.Fatal("cost per query wrong")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+	if _, err := sc.engine.Report("NOPE", sc.attach, sc.end); err == nil {
+		t.Fatal("report for unattached warehouse succeeded")
+	}
+}
+
+func TestDailyAndHourlySeries(t *testing.T) {
+	cfg, gen := biWorkload()
+	sc := runScenario(t, 9, cfg, gen, 2, 2, DefaultSettings(), testOptions())
+	days, err := sc.engine.DailySeries("BI_WH", t0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 4 {
+		t.Fatalf("daily rows = %d", len(days))
+	}
+	var total float64
+	for _, d := range days {
+		total += d.Credits
+	}
+	wh, _ := sc.acct.Warehouse("BI_WH")
+	if math.Abs(total-wh.Meter().CreditsBetween(t0, t0.Add(4*24*time.Hour), sc.sched.Now())) > 1e-6 {
+		t.Fatal("daily series does not sum to total")
+	}
+	hours, err := sc.engine.HourlySeries("BI_WH", sc.attach, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hours) != 24 {
+		t.Fatalf("hourly rows = %d", len(hours))
+	}
+	anyOverhead := false
+	for _, h := range hours {
+		if h.OverheadCredits > 0 {
+			anyOverhead = true
+		}
+	}
+	if !anyOverhead {
+		t.Fatal("hourly series shows no overhead")
+	}
+}
+
+func TestOfflineTransitionsBuilt(t *testing.T) {
+	cfg, gen := biWorkload()
+	sc := runScenario(t, 10, cfg, gen, 2, 1, DefaultSettings(), testOptions())
+	log := sc.engine.Store().Log("BI_WH")
+	cm := sc.sm.CostModel()
+	if cm == nil {
+		t.Fatal("cost model not trained")
+	}
+	ts := OfflineTransitions(log, cm, cfg, t0, sc.end, 10*time.Minute, policy.Balanced.Tuning())
+	if len(ts) == 0 {
+		t.Fatal("no offline transitions")
+	}
+	for _, tr := range ts[:min(len(ts), 100)] {
+		if len(tr.State) == 0 || math.IsNaN(tr.Reward) || math.IsInf(tr.Reward, 0) {
+			t.Fatalf("bad transition: %+v", tr)
+		}
+	}
+	// Empty inputs are safe.
+	if got := OfflineTransitions(nil, cm, cfg, t0, sc.end, 10*time.Minute, policy.Balanced.Tuning()); got != nil {
+		t.Fatal("nil log produced transitions")
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	sched := simclock.NewScheduler(1)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	engine := NewEngine(acct, testOptions())
+	cfg, _ := biWorkload()
+	acct.CreateWarehouse(cfg)
+	if _, err := engine.Attach("NOPE", DefaultSettings()); err == nil {
+		t.Fatal("attached unknown warehouse")
+	}
+	bad := DefaultSettings()
+	bad.Slider = policy.Slider(0)
+	if _, err := engine.Attach("BI_WH", bad); err == nil {
+		t.Fatal("attached with invalid slider")
+	}
+	badC := DefaultSettings()
+	badC.Constraints = policy.Constraints{{Name: "x", StartMinute: -5}}
+	if _, err := engine.Attach("BI_WH", badC); err == nil {
+		t.Fatal("attached with invalid constraints")
+	}
+	if _, err := engine.Attach("BI_WH", DefaultSettings()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Attach("BI_WH", DefaultSettings()); err == nil {
+		t.Fatal("double attach succeeded")
+	}
+	if got := engine.Warehouses(); len(got) != 1 || got[0] != "BI_WH" {
+		t.Fatalf("warehouses = %v", got)
+	}
+}
+
+func TestStopHaltsActions(t *testing.T) {
+	cfg, gen := biWorkload()
+	sched := simclock.NewScheduler(11)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	engine := NewEngine(acct, testOptions())
+	acct.CreateWarehouse(cfg)
+	end := t0.Add(4 * 24 * time.Hour)
+	arr := gen.Generate(t0, end, sched.Rand("workload"))
+	workload.Drive(sched, acct, cfg.Name, arr)
+	sched.RunUntil(t0.Add(24 * time.Hour))
+	engine.Attach(cfg.Name, DefaultSettings())
+	engine.Start()
+	sched.RunUntil(t0.Add(2 * 24 * time.Hour))
+	engine.Stop()
+	mark := len(acct.Changes())
+	sched.RunUntil(end)
+	for _, ch := range acct.Changes()[mark:] {
+		if ch.Actor == "kwo" {
+			t.Fatalf("KWO acted after Stop: %+v", ch)
+		}
+	}
+}
+
+func TestPerfPenalty(t *testing.T) {
+	var snap = func(p99, base, queue time.Duration, n int) float64 {
+		s := monitorSnapshot(p99, base, queue, n)
+		return PerfPenalty(s)
+	}
+	if got := snap(2*time.Second, 2*time.Second, 0, 10); got != 0 {
+		t.Fatalf("no-degradation penalty = %v", got)
+	}
+	if got := snap(4*time.Second, 2*time.Second, 0, 10); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("2x p99 penalty = %v, want 1", got)
+	}
+	if got := snap(2*time.Second, 2*time.Second, 30*time.Second, 10); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("queue penalty = %v, want 1", got)
+	}
+	// Faster than baseline: no negative penalty.
+	if got := snap(1*time.Second, 2*time.Second, 0, 10); got != 0 {
+		t.Fatalf("speedup penalized: %v", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kwo/internal/action"
+	"kwo/internal/actuator"
+	"kwo/internal/cdw"
+	"kwo/internal/monitor"
+	"kwo/internal/pricing"
+	"kwo/internal/simclock"
+	"kwo/internal/telemetry"
+)
+
+// Engine runs Algorithm 1 for every attached warehouse of one account.
+type Engine struct {
+	acct   *cdw.Account
+	sched  *simclock.Scheduler
+	store  *telemetry.Store
+	act    *actuator.Actuator
+	ledger *pricing.Ledger
+	opts   Options
+
+	models map[string]*smState
+	names  []string
+
+	started time.Time
+	running bool
+	gen     uint64 // invalidates scheduled events after Stop
+}
+
+// smState couples a smart model with engine-side bookkeeping.
+type smState struct {
+	sm *SmartModel
+	// lastChangeIdx is how many audit-log rows were already examined
+	// for external changes.
+	lastChangeIdx int
+	// billStart is the beginning of the current billing period.
+	billStart time.Time
+	attachAt  time.Time
+	// lastBillingPull is the last completed hour whose billing history
+	// was ingested into the telemetry store.
+	lastBillingPull time.Time
+}
+
+// NewEngine creates an engine over the account. It subscribes its own
+// telemetry store to the account; create the engine before driving
+// workload, or use NewEngineWithStore with a store that has been
+// subscribed all along, if training should see the full history.
+func NewEngine(acct *cdw.Account, opts Options) *Engine {
+	store := telemetry.NewStore()
+	acct.Subscribe(store)
+	return NewEngineWithStore(acct, store, opts)
+}
+
+// NewEngineWithStore creates an engine that reads telemetry from an
+// existing store (already subscribed to the account by the caller).
+func NewEngineWithStore(acct *cdw.Account, store *telemetry.Store, opts Options) *Engine {
+	return &Engine{
+		acct:   acct,
+		sched:  acct.Scheduler(),
+		store:  store,
+		act:    actuator.New(acct, opts.OverheadPerOp),
+		ledger: pricing.NewLedger(opts.SavingsShare),
+		opts:   opts,
+		models: make(map[string]*smState),
+	}
+}
+
+// Store exposes the engine's telemetry store (e.g. for dashboards).
+func (e *Engine) Store() *telemetry.Store { return e.store }
+
+// Ledger exposes the value-based pricing ledger.
+func (e *Engine) Ledger() *pricing.Ledger { return e.ledger }
+
+// Actuator exposes the action log.
+func (e *Engine) Actuator() *actuator.Actuator { return e.act }
+
+// Attach registers a warehouse for optimization. The warehouse's
+// current configuration becomes the without-Keebo baseline, and an
+// initial training pass runs over whatever telemetry already exists
+// (Algorithm 1 line 8: read the last 90 days).
+func (e *Engine) Attach(warehouse string, settings WarehouseSettings) (*SmartModel, error) {
+	if _, ok := e.models[warehouse]; ok {
+		return nil, fmt.Errorf("core: warehouse %s already attached", warehouse)
+	}
+	if err := settings.Constraints.Validate(); err != nil {
+		return nil, err
+	}
+	if !settings.Slider.Valid() {
+		return nil, fmt.Errorf("core: invalid slider position %d", int(settings.Slider))
+	}
+	wh, err := e.acct.Warehouse(warehouse)
+	if err != nil {
+		return nil, err
+	}
+	now := e.sched.Now()
+	orig := wh.Config()
+	rng := e.sched.Rand("smartmodel:" + warehouse)
+	sm := newSmartModel(warehouse, orig, settings, e.store, rng, e.opts)
+	sm.attachedAt = now
+	st := &smState{sm: sm, billStart: now, attachAt: now,
+		lastChangeIdx: len(e.acct.Changes())}
+	e.models[warehouse] = st
+	e.names = append(e.names, warehouse)
+
+	// Initial training from existing history.
+	log := e.store.Log(warehouse)
+	if log != nil && len(log.Queries) > 0 {
+		from := now.Add(-e.opts.HistoryWindow)
+		sm.retrain(log, from, now, e.acct.Params().MaxConcurrency, e.opts)
+	}
+	if e.running {
+		e.scheduleLoops(st)
+	}
+	return sm, nil
+}
+
+// Model returns the smart model for a warehouse.
+func (e *Engine) Model(warehouse string) (*SmartModel, error) {
+	st, ok := e.models[warehouse]
+	if !ok {
+		return nil, fmt.Errorf("core: warehouse %s not attached", warehouse)
+	}
+	return st.sm, nil
+}
+
+// Warehouses lists attached warehouses in attach order.
+func (e *Engine) Warehouses() []string {
+	out := make([]string, len(e.names))
+	copy(out, e.names)
+	return out
+}
+
+// Start begins the optimization loops for every attached warehouse.
+func (e *Engine) Start() {
+	if e.running {
+		return
+	}
+	e.running = true
+	e.started = e.sched.Now()
+	for _, name := range e.names {
+		e.scheduleLoops(e.models[name])
+	}
+}
+
+// Stop halts all loops (pending events become no-ops).
+func (e *Engine) Stop() {
+	e.running = false
+	e.gen++
+}
+
+// Started returns the engine start time.
+func (e *Engine) Started() time.Time { return e.started }
+
+func (e *Engine) scheduleLoops(st *smState) {
+	gen := e.gen
+	var decideLoop, trainLoop, billLoop func()
+	decideLoop = func() {
+		if gen != e.gen {
+			return
+		}
+		e.tick(st)
+		e.sched.After(e.opts.DecideEvery, "kwo-decide:"+st.sm.Warehouse, decideLoop)
+	}
+	trainLoop = func() {
+		if gen != e.gen {
+			return
+		}
+		e.retrain(st)
+		e.sched.After(e.opts.TrainEvery, "kwo-train:"+st.sm.Warehouse, trainLoop)
+	}
+	billLoop = func() {
+		if gen != e.gen {
+			return
+		}
+		e.bill(st)
+		e.sched.After(e.opts.BillEvery, "kwo-bill:"+st.sm.Warehouse, billLoop)
+	}
+	e.sched.After(e.opts.DecideEvery, "kwo-decide:"+st.sm.Warehouse, decideLoop)
+	e.sched.After(e.opts.TrainEvery, "kwo-train:"+st.sm.Warehouse, trainLoop)
+	e.sched.After(e.opts.BillEvery, "kwo-bill:"+st.sm.Warehouse, billLoop)
+}
+
+// tick is one Algorithm 1 real-time decision pass for one warehouse.
+func (e *Engine) tick(st *smState) {
+	sm := st.sm
+	now := e.sched.Now()
+	wh, err := e.acct.Warehouse(sm.Warehouse)
+	if err != nil {
+		return
+	}
+	// Telemetry collection overhead (Figure 6's red series).
+	e.act.MeterTelemetryPull()
+
+	// Ingest billing history since the last pull (§6.1: training data
+	// is query history + billing history). Completed hours only; the
+	// current partial hour is re-pulled next time.
+	hourNow := now.Truncate(time.Hour)
+	if hourNow.After(st.lastBillingPull) {
+		from := st.lastBillingPull
+		if from.IsZero() {
+			from = st.attachAt.Add(-e.opts.HistoryWindow).Truncate(time.Hour)
+		}
+		e.store.AddBilling(sm.Warehouse, wh.Meter().Hourly(from, hourNow, now))
+		st.lastBillingPull = hourNow
+	}
+
+	current := wh.Config()
+	snap := sm.mon.Observe(now)
+
+	// External-change scan over the audit rows since the last tick.
+	changes := e.acct.Changes()
+	var external bool
+	for _, c := range changes[st.lastChangeIdx:] {
+		if c.Warehouse == sm.Warehouse && c.Actor != actuator.Actor {
+			external = true
+		}
+	}
+	st.lastChangeIdx = len(changes)
+
+	credits := wh.Meter().TotalCredits(now)
+	act, enforce := sm.decide(now, current, snap, external, credits, e.opts)
+
+	if !enforce.IsZero() {
+		if err := e.act.ApplyAlteration(sm.Warehouse, enforce, "constraint"); err == nil {
+			sm.expected = wh.Config()
+		}
+		return
+	}
+	if act.Kind == action.NoOp {
+		return
+	}
+	reason := "smart-model"
+	if act.Reverts {
+		reason = "revert"
+	}
+	if applied, err := e.act.Apply(act, reason); err == nil && applied {
+		sm.markApplied(act, wh.Config())
+	}
+}
+
+// retrain refreshes one warehouse's cost model and agent.
+func (e *Engine) retrain(st *smState) {
+	now := e.sched.Now()
+	log := e.store.Log(st.sm.Warehouse)
+	if log == nil || len(log.Queries) == 0 {
+		return
+	}
+	from := now.Add(-e.opts.HistoryWindow)
+	st.sm.retrain(log, from, now, e.acct.Params().MaxConcurrency, e.opts)
+}
+
+// bill closes the current billing period with a what-if savings
+// estimate and an invoice.
+func (e *Engine) bill(st *smState) {
+	sm := st.sm
+	now := e.sched.Now()
+	if sm.cost == nil {
+		st.billStart = now
+		return
+	}
+	wh, err := e.acct.Warehouse(sm.Warehouse)
+	if err != nil {
+		return
+	}
+	log := e.store.Log(sm.Warehouse)
+	actual := wh.Meter().CreditsBetween(st.billStart, now, now)
+	without := sm.cost.Replay(log, st.billStart, now).Credits
+	e.ledger.Add(sm.Warehouse, st.billStart, now, actual, without)
+	st.billStart = now
+}
+
+// EstimateSavings runs an on-demand what-if estimate for a warehouse
+// over [from, to) using its current cost model.
+func (e *Engine) EstimateSavings(warehouse string, from, to time.Time) (actual, without float64, err error) {
+	st, ok := e.models[warehouse]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: warehouse %s not attached", warehouse)
+	}
+	if st.sm.cost == nil {
+		return 0, 0, fmt.Errorf("core: warehouse %s has no trained cost model yet", warehouse)
+	}
+	wh, err := e.acct.Warehouse(warehouse)
+	if err != nil {
+		return 0, 0, err
+	}
+	now := e.sched.Now()
+	actual = wh.Meter().CreditsBetween(from, to, now)
+	without = st.sm.cost.Replay(e.store.Log(warehouse), from, to).Credits
+	return actual, without, nil
+}
+
+// Snapshot returns the monitor's latest view without folding a new
+// window (for dashboards/tests).
+func (e *Engine) Snapshot(warehouse string) (monitor.Snapshot, error) {
+	st, ok := e.models[warehouse]
+	if !ok {
+		return monitor.Snapshot{}, fmt.Errorf("core: warehouse %s not attached", warehouse)
+	}
+	return st.sm.mon.Observe(e.sched.Now()), nil
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"time"
+
+	"kwo/internal/monitor"
+	"kwo/internal/telemetry"
+)
+
+// monitorSnapshot fabricates a snapshot for PerfPenalty tests.
+func monitorSnapshot(p99, base, queue time.Duration, queries int) monitor.Snapshot {
+	return monitor.Snapshot{
+		Stats: telemetry.WindowStats{
+			Queries:    queries,
+			P99Latency: p99,
+			P99Queue:   queue,
+		},
+		BaselineP99: base,
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"time"
+
+	"kwo/internal/action"
+	"kwo/internal/cdw"
+	"kwo/internal/costmodel"
+	"kwo/internal/ml"
+	"kwo/internal/monitor"
+	"kwo/internal/policy"
+	"kwo/internal/rl"
+	"kwo/internal/telemetry"
+)
+
+// OfflineTransitions builds a model-based offline RL dataset from
+// historical telemetry: for each historical decision window it
+// fabricates one transition per candidate action, with the reward
+// predicted by the warehouse cost model. This is how KWO's DRL "learns
+// from a diverse range of past experiences without the need for
+// constant [online] updates" (§8) — the cost model acts as the learned
+// environment model.
+func OfflineTransitions(log *telemetry.WarehouseLog, cost *costmodel.Model,
+	orig cdw.Config, from, to time.Time, window time.Duration, tuning policy.Tuning) []ml.Transition {
+
+	if cost == nil || log == nil {
+		return nil
+	}
+	var out []ml.Transition
+	windowHours := window.Hours()
+	cfg := orig
+	for t := from; t.Before(to); t = t.Add(window) {
+		ws := log.Stats(t, t.Add(window))
+		if ws.Queries == 0 {
+			continue
+		}
+		cfg = log.ConfigAt(t, orig)
+		snap := monitor.Snapshot{At: t.Add(window), Stats: ws}
+		state := rl.Featurize(snap, cfg)
+		for _, kind := range action.All() {
+			a := action.Action{Kind: kind, Warehouse: cfg.Name}
+			imp := cost.PredictImpact(ws, cfg, a)
+			// Predicted spend over the window under the candidate
+			// config, plus the performance penalty. Degradation within
+			// the slider's budget is free to the agent — that is what
+			// the slider *means*; only beyond-budget degradation is
+			// punished, weighted by λ.
+			spend := imp.CreditsPerHour * windowHours
+			perf := offlinePerfPenalty(imp, ws.AvgExec.Seconds(), tuning)
+			r := rl.Reward(spend, perf, tuning.PerfPenalty)
+			next := a.Target(cfg)
+			nextSnap := monitor.Snapshot{At: t.Add(2 * window), Stats: ws}
+			out = append(out, ml.Transition{
+				State:     state,
+				Action:    int(kind),
+				Reward:    r,
+				NextState: rl.Featurize(nextSnap, next),
+			})
+		}
+	}
+	return out
+}
+
+// offlinePerfPenalty scores predicted degradation against the slider's
+// budgets: free within budget, increasingly expensive beyond it.
+func offlinePerfPenalty(imp costmodel.Impact, avgExecSecs float64, tuning policy.Tuning) float64 {
+	var perf float64
+	addedSecs := (imp.LatencyFactor - 1) * avgExecSecs
+	if addedSecs > tuning.MaxAddedLatency && imp.LatencyFactor > tuning.MaxLatencyFactor {
+		perf += (addedSecs - tuning.MaxAddedLatency) / 10
+		perf += imp.LatencyFactor - tuning.MaxLatencyFactor
+	}
+	if imp.QueueRisk > tuning.MaxQueueRisk {
+		perf += (imp.QueueRisk - tuning.MaxQueueRisk) * 5
+	}
+	return perf
+}

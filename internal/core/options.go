@@ -1,0 +1,84 @@
+// Package core is KWO's engine: it wires telemetry, the warehouse cost
+// model, the DRL smart models, customer constraints and the slider,
+// real-time monitoring, and the actuator into the control loop of the
+// paper's Algorithm 1 — train every T hours, decide and act every
+// T_realtime minutes, self-correct from feedback, and continuously
+// estimate savings.
+package core
+
+import (
+	"time"
+
+	"kwo/internal/policy"
+	"kwo/internal/rl"
+)
+
+// Options configures the engine.
+type Options struct {
+	// TrainEvery is T in Algorithm 1: how often smart models are
+	// retrained from accumulated telemetry.
+	TrainEvery time.Duration
+	// DecideEvery is T_realtime: how often each smart model observes
+	// real-time state and takes an action.
+	DecideEvery time.Duration
+	// HistoryWindow bounds how much telemetry feeds training
+	// (Algorithm 1 initializes from the last 90 days).
+	HistoryWindow time.Duration
+	// BillEvery is how often savings are estimated and invoiced.
+	BillEvery time.Duration
+	// OverheadPerOp is the credit cost of each KWO operation
+	// (telemetry pull, ALTER statement); Figure 6's red series.
+	OverheadPerOp float64
+	// SavingsShare is the value-based pricing rate.
+	SavingsShare float64
+	// RL tunes the DQN agents.
+	RL rl.Config
+	// PretrainSteps is how many gradient steps each retraining pass
+	// runs over the offline dataset.
+	PretrainSteps int
+	// WarmupWindows is how many decision windows a fresh smart model
+	// observes before it starts acting — it must see a baseline before
+	// it can protect it.
+	WarmupWindows int
+	// MaxActionsPerHour rate-limits configuration churn.
+	MaxActionsPerHour int
+	// DisableSelfCorrection turns off the backoff/revert behaviour of
+	// §4.3-§4.4. Only for ablation experiments — never in production.
+	DisableSelfCorrection bool
+	// RampStepHours is the confidence ramp: the smart model may move
+	// the configuration at most 1 + elapsed/RampStepHours steps away
+	// from the customer's original configuration. This produces the
+	// gradual savings ramp the paper reports (50%/70%/95% of eventual
+	// savings after 20/43/83 hours) instead of an immediate jump.
+	// 0 disables the ramp.
+	RampStepHours float64
+}
+
+// DefaultOptions returns production-plausible defaults.
+func DefaultOptions() Options {
+	return Options{
+		TrainEvery:        4 * time.Hour,
+		DecideEvery:       10 * time.Minute,
+		HistoryWindow:     90 * 24 * time.Hour,
+		BillEvery:         24 * time.Hour,
+		OverheadPerOp:     0.0005,
+		SavingsShare:      0.20,
+		RL:                rl.DefaultConfig(),
+		PretrainSteps:     1500,
+		WarmupWindows:     6,
+		MaxActionsPerHour: 6,
+		RampStepHours:     18,
+	}
+}
+
+// WarehouseSettings is the per-warehouse customer configuration: the
+// slider position and the hard constraint rules.
+type WarehouseSettings struct {
+	Slider      policy.Slider
+	Constraints policy.Constraints
+}
+
+// DefaultSettings is a Balanced slider with no constraints.
+func DefaultSettings() WarehouseSettings {
+	return WarehouseSettings{Slider: policy.Balanced}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/simclock"
+	"kwo/internal/workload"
+)
+
+// WhatIfResult compares a sandboxed alternative setting against the
+// live run over the same recorded workload.
+type WhatIfResult struct {
+	Warehouse string
+	From, To  time.Time
+	// LiveCredits is what the live warehouse actually billed.
+	LiveCredits float64
+	// SandboxCredits is the projected bill under the alternative
+	// settings.
+	SandboxCredits float64
+	// LiveP99/SandboxP99 are the respective p99 latencies (seconds).
+	LiveP99    float64
+	SandboxP99 float64
+	// Queries is the number of replayed queries.
+	Queries int
+}
+
+// String renders the projection.
+func (w WhatIfResult) String() string {
+	return fmt.Sprintf(
+		"what-if %s over %v: credits %.2f → %.2f (%.1f%%), p99 %.1fs → %.1fs (%d queries)",
+		w.Warehouse, w.To.Sub(w.From).Round(time.Hour),
+		w.LiveCredits, w.SandboxCredits,
+		100*(w.SandboxCredits/maxf(w.LiveCredits, 1e-9)-1),
+		w.LiveP99, w.SandboxP99, w.Queries)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WhatIf forks a sandbox simulation from the warehouse's recorded
+// telemetry and re-runs the recorded window under different settings —
+// "what would last week have looked like at Lowest Cost?" — without
+// touching the live warehouse. The sandboxed workload is reconstructed
+// from telemetry only (hashes, sizes, durations), honouring the C6
+// constraint that KWO never sees query text.
+//
+// The reconstruction scales each recorded execution back to an X-Small
+// work figure using the warehouse's trained latency model, so the
+// sandbox warehouse responds realistically to the alternative policy's
+// sizing decisions.
+func (e *Engine) WhatIf(warehouse string, settings WarehouseSettings,
+	from, to time.Time) (WhatIfResult, error) {
+
+	st, ok := e.models[warehouse]
+	if !ok {
+		return WhatIfResult{}, fmt.Errorf("core: warehouse %s not attached", warehouse)
+	}
+	sm := st.sm
+	if sm.cost == nil {
+		return WhatIfResult{}, fmt.Errorf("core: warehouse %s has no trained cost model yet", warehouse)
+	}
+	if err := settings.Constraints.Validate(); err != nil {
+		return WhatIfResult{}, err
+	}
+	if !settings.Slider.Valid() {
+		return WhatIfResult{}, fmt.Errorf("core: invalid slider position %d", int(settings.Slider))
+	}
+	log := e.store.Log(warehouse)
+	recs := log.SubmittedBetween(from, to)
+	if len(recs) == 0 {
+		return WhatIfResult{}, fmt.Errorf("core: no telemetry for %s in the requested window", warehouse)
+	}
+
+	res := WhatIfResult{Warehouse: warehouse, From: from, To: to, Queries: len(recs)}
+	wh, err := e.acct.Warehouse(warehouse)
+	if err != nil {
+		return WhatIfResult{}, err
+	}
+	res.LiveCredits = wh.Meter().CreditsBetween(from, to, e.sched.Now())
+	res.LiveP99 = log.Stats(from, to).P99Latency.Seconds()
+
+	// Build the sandbox: same physical constants, the customer's
+	// original configuration, and arrivals reconstructed from
+	// telemetry.
+	sbSched := simclock.NewSchedulerAt(from.Add(-time.Hour), 1)
+	sbAcct := cdw.NewAccount(sbSched, e.acct.Params())
+	orig := sm.orig
+	if _, err := sbAcct.CreateWarehouse(orig); err != nil {
+		return WhatIfResult{}, err
+	}
+	lm := sm.cost.Latency
+	coldRatio := lm.ColdRatio()
+	arrivals := make([]workload.Arrival, 0, len(recs))
+	for _, r := range recs {
+		exec := r.ExecDuration.Seconds()
+		if r.ColdRead && coldRatio > 1 {
+			exec /= coldRatio // reconstruct the warm-cache execution time
+		}
+		work := lm.ScaleExec(r.TemplateHash, exec, r.Size, cdw.SizeXSmall)
+		arrivals = append(arrivals, workload.Arrival{
+			At: r.SubmitTime,
+			Query: cdw.Query{
+				TextHash:     r.TextHash,
+				TemplateHash: r.TemplateHash,
+				UserHash:     r.UserHash,
+				Work:         work,
+				ScaleExp:     -lm.LogStep(), // fitted slope as the scaling exponent
+				ColdFactor:   coldRatio - 1,
+				BytesScanned: r.BytesScanned,
+			},
+		})
+	}
+	workload.Drive(sbSched, sbAcct, warehouse, arrivals)
+
+	// A sandbox engine with the alternative settings, warmed with the
+	// live model's cost model so it can act from the first tick.
+	sbOpts := e.opts
+	sbOpts.WarmupWindows = 0
+	sbOpts.RampStepHours = 0 // the live model already earned its confidence
+	sbEngine := NewEngine(sbAcct, sbOpts)
+	sbSched.RunUntil(from)
+	sbSM, err := sbEngine.Attach(warehouse, settings)
+	if err != nil {
+		return WhatIfResult{}, err
+	}
+	sbSM.cost = sm.cost // transplant the trained cost model
+	sbEngine.Start()
+	sbSched.RunUntil(to.Add(time.Hour))
+
+	sbWh, _ := sbAcct.Warehouse(warehouse)
+	res.SandboxCredits = sbWh.Meter().CreditsBetween(from, to, sbSched.Now())
+	res.SandboxP99 = sbEngine.Store().Log(warehouse).Stats(from, to).P99Latency.Seconds()
+	return res, nil
+}

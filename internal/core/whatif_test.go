@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"kwo/internal/policy"
+)
+
+func TestWhatIfProjectsAlternativeSlider(t *testing.T) {
+	cfg, gen := biWorkload()
+	sc := runScenario(t, 41, cfg, gen, 2, 4, WarehouseSettings{Slider: policy.BestPerformance}, testOptions())
+
+	from := sc.attach.Add(24 * time.Hour)
+	to := sc.end
+	res, err := sc.engine.WhatIf("BI_WH", WarehouseSettings{Slider: policy.LowestCost}, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("what-if: %s", res)
+	if res.Queries == 0 || res.LiveCredits <= 0 || res.SandboxCredits <= 0 {
+		t.Fatalf("incomplete projection: %+v", res)
+	}
+	// Lowest Cost in the sandbox must project well below the live
+	// Best Performance run.
+	if res.SandboxCredits >= 0.7*res.LiveCredits {
+		t.Fatalf("sandbox at LowestCost (%.1f) not clearly below live BestPerformance (%.1f)",
+			res.SandboxCredits, res.LiveCredits)
+	}
+	if res.SandboxP99 <= 0 || res.LiveP99 <= 0 {
+		t.Fatal("missing latency projections")
+	}
+}
+
+func TestWhatIfErrors(t *testing.T) {
+	cfg, gen := biWorkload()
+	sc := runScenario(t, 42, cfg, gen, 1, 1, DefaultSettings(), testOptions())
+	if _, err := sc.engine.WhatIf("NOPE", DefaultSettings(), sc.attach, sc.end); err == nil {
+		t.Fatal("unknown warehouse accepted")
+	}
+	bad := DefaultSettings()
+	bad.Slider = policy.Slider(0)
+	if _, err := sc.engine.WhatIf("BI_WH", bad, sc.attach, sc.end); err == nil {
+		t.Fatal("invalid slider accepted")
+	}
+	// Empty window.
+	if _, err := sc.engine.WhatIf("BI_WH", DefaultSettings(),
+		sc.end.Add(24*time.Hour), sc.end.Add(48*time.Hour)); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}

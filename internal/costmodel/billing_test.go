@@ -1,0 +1,84 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/telemetry"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func billingLog() *telemetry.WarehouseLog {
+	log := &telemetry.WarehouseLog{Name: "W"}
+	// Three queries spread over two clock hours, 1 GiB each.
+	for i, off := range []time.Duration{0, 30 * time.Minute, 90 * time.Minute} {
+		at := t0.Add(off)
+		log.Queries = append(log.Queries, cdw.QueryRecord{
+			Warehouse: "W", TemplateHash: uint64(i),
+			SubmitTime: at, StartTime: at, EndTime: at.Add(time.Minute),
+			ExecDuration: time.Minute, Size: cdw.SizeSmall, Clusters: 1,
+			BytesScanned: 1 << 30,
+		})
+	}
+	return log
+}
+
+func TestOnDemandBilling(t *testing.T) {
+	b := OnDemandBilling{PerTiB: 5}
+	got := b.Price(ReplayResult{}, billingLog().Queries)
+	want := 3.0 / 1024 * 5 // 3 GiB at 5 per TiB
+	if !approx(got, want, 1e-9) {
+		t.Fatalf("on-demand price = %v, want %v", got, want)
+	}
+	// Default rate applies when unset.
+	if (OnDemandBilling{}).Price(ReplayResult{}, billingLog().Queries) <= 0 {
+		t.Fatal("default rate not applied")
+	}
+}
+
+func TestHourlyPoolBilling(t *testing.T) {
+	b := HourlyPoolBilling{PerHour: 4}
+	got := b.Price(ReplayResult{}, billingLog().Queries)
+	// Activity touches hours 0 and 1 → 2 pool hours.
+	if !approx(got, 8, 1e-9) {
+		t.Fatalf("pool price = %v, want 8", got)
+	}
+}
+
+func TestCreditBillingPassesThroughReplay(t *testing.T) {
+	if (CreditBilling{}).Price(ReplayResult{Credits: 3.5}, nil) != 3.5 {
+		t.Fatal("credit billing did not pass through")
+	}
+}
+
+func TestCompareProducts(t *testing.T) {
+	log := billingLog()
+	cfg := cdw.Config{Name: "W", Size: cdw.SizeSmall, MinClusters: 1,
+		MaxClusters: 1, AutoSuspend: 5 * time.Minute, AutoResume: true}
+	m := Train(log, cfg, t0, t0.Add(2*time.Hour), 8)
+	pc := m.CompareProducts(log, t0, t0.Add(2*time.Hour))
+	if len(pc.Rows) != 3 {
+		t.Fatalf("rows = %d", len(pc.Rows))
+	}
+	if pc.Queries != 3 {
+		t.Fatalf("queries = %d", pc.Queries)
+	}
+	for _, r := range pc.Rows {
+		if r.Price <= 0 {
+			t.Fatalf("%s priced %v", r.Scheme, r.Price)
+		}
+	}
+	// This sparse, scan-light workload should be cheaper on-demand
+	// than on an always-billed pool.
+	if pc.Rows[1].Price >= pc.Rows[2].Price {
+		t.Fatalf("on-demand (%v) not cheaper than hourly pool (%v) for sparse workload",
+			pc.Rows[1].Price, pc.Rows[2].Price)
+	}
+	if !strings.Contains(pc.String(), "Cross-product") {
+		t.Fatal("rendering broken")
+	}
+}

@@ -1,0 +1,95 @@
+package costmodel
+
+import (
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/ml"
+	"kwo/internal/telemetry"
+)
+
+// MiniWindow is the batching granularity for cluster-count prediction.
+// The paper: "To avoid dealing with per-second predictions, we batch
+// the past query execution into mini-windows and then predict the
+// average cluster count for each mini-window."
+const MiniWindow = 10 * time.Minute
+
+// ClusterModel predicts the average number of active clusters a
+// warehouse would have used in a mini-window, given the window's
+// arrival statistics and the configured maximum cluster count
+// (§5.2, "impact on warehouse parallelism").
+type ClusterModel struct {
+	reg    *ml.Ridge
+	slots  float64 // queries one cluster runs concurrently
+	fitted bool
+}
+
+// clusterFeatures builds the regression features for one window:
+// offered load in cluster-equivalents, and the configured max.
+func clusterFeatures(qph, avgExecSecs float64, maxClusters int, slots float64) []float64 {
+	// Offered load (Erlang intensity) in units of clusters:
+	// arrivals/sec × service time / slots per cluster.
+	load := qph / 3600 * avgExecSecs / slots
+	return []float64{load, float64(maxClusters)}
+}
+
+// FitClusters trains the model on historical mini-windows. For each
+// window with queries we know the average cluster count that actually
+// served them (recorded per query at start time) and the max-cluster
+// setting in effect.
+func FitClusters(log *telemetry.WarehouseLog, initial cdw.Config, from, to time.Time, slots int) *ClusterModel {
+	m := &ClusterModel{slots: float64(slots)}
+	if m.slots <= 0 {
+		m.slots = 8
+	}
+	var rows [][]float64
+	var y []float64
+	for t := from; t.Before(to); t = t.Add(MiniWindow) {
+		ws := log.Stats(t, t.Add(MiniWindow))
+		if ws.Queries == 0 {
+			continue
+		}
+		cfg := log.ConfigAt(t, initial)
+		rows = append(rows, clusterFeatures(ws.QPH, ws.AvgExec.Seconds(), cfg.MaxClusters, m.slots))
+		y = append(y, ws.AvgClusters)
+	}
+	if len(rows) >= 8 {
+		r := &ml.Ridge{Lambda: 1.0}
+		if err := r.Fit(ml.FromRows(rows), y); err == nil {
+			m.reg = r
+			m.fitted = true
+		}
+	}
+	return m
+}
+
+// Predict returns the expected average cluster count for a window with
+// the given arrival statistics under maxClusters.
+func (m *ClusterModel) Predict(qph, avgExecSecs float64, maxClusters int) float64 {
+	if maxClusters < 1 {
+		maxClusters = 1
+	}
+	analytic := m.analytic(qph, avgExecSecs, maxClusters)
+	if !m.fitted {
+		return analytic
+	}
+	p := m.reg.Predict(clusterFeatures(qph, avgExecSecs, maxClusters, m.slots))
+	// The regression extrapolates poorly outside its training range;
+	// keep it physical by clamping to [1, max] and blending with the
+	// analytical queueing estimate.
+	p = ml.Clamp(p, 1, float64(maxClusters))
+	return 0.5*p + 0.5*analytic
+}
+
+// analytic is the queueing-theoretic baseline: clusters needed to carry
+// the offered load with some headroom, clamped to [1, max].
+func (m *ClusterModel) analytic(qph, avgExecSecs float64, maxClusters int) float64 {
+	load := qph / 3600 * avgExecSecs / m.slots
+	// Headroom factor: clusters run at ~70% occupancy before queueing
+	// forces scale-out under the Standard policy.
+	need := load / 0.7
+	return ml.Clamp(need, 1, float64(maxClusters))
+}
+
+// Fitted reports whether the regression component is trained.
+func (m *ClusterModel) Fitted() bool { return m.fitted }

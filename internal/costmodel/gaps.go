@@ -1,0 +1,94 @@
+package costmodel
+
+import (
+	"sort"
+	"time"
+
+	"kwo/internal/ml"
+)
+
+// GapModel captures the distribution of idle gaps between query
+// submissions on a warehouse (§5.2, "impact on query arrival times").
+// The replay uses it to reason about idle-time billing, and the
+// action-impact estimator uses it to predict what an auto-suspend
+// change saves or costs.
+type GapModel struct {
+	gaps []float64 // sorted, seconds
+	mean float64
+	ewma ml.EWMA
+}
+
+// FitGaps builds a model from observed inter-arrival gaps in seconds.
+func FitGaps(gaps []float64) *GapModel {
+	g := &GapModel{ewma: ml.EWMA{Alpha: 0.1}}
+	for _, x := range gaps {
+		if x < 0 {
+			continue
+		}
+		g.gaps = append(g.gaps, x)
+		g.ewma.Add(x)
+	}
+	sort.Float64s(g.gaps)
+	g.mean = ml.Mean(g.gaps)
+	return g
+}
+
+// N returns the number of observed gaps.
+func (g *GapModel) N() int { return len(g.gaps) }
+
+// Mean returns the mean gap in seconds.
+func (g *GapModel) Mean() float64 { return g.mean }
+
+// Quantile returns the q-quantile gap in seconds.
+func (g *GapModel) Quantile(q float64) float64 {
+	return telemetryPercentile(g.gaps, q)
+}
+
+// IdleBilledPerGap returns the expected billed idle seconds per gap for
+// a given auto-suspend interval: each gap bills min(gap, interval) of
+// idle warehouse time before suspension kicks in. This encodes the
+// paper's observation that "query gaps cannot be longer than the
+// auto-suspend interval since the warehouse would have shut down".
+func (g *GapModel) IdleBilledPerGap(autoSuspend time.Duration) float64 {
+	if len(g.gaps) == 0 {
+		return 0
+	}
+	limit := autoSuspend.Seconds()
+	var total float64
+	for _, gap := range g.gaps {
+		if gap < limit {
+			total += gap
+		} else {
+			total += limit
+		}
+	}
+	return total / float64(len(g.gaps))
+}
+
+// SuspendFraction returns the fraction of gaps longer than the
+// interval — i.e. how often the warehouse would suspend (and later
+// resume cold) under that auto-suspend setting.
+func (g *GapModel) SuspendFraction(autoSuspend time.Duration) float64 {
+	if len(g.gaps) == 0 {
+		return 0
+	}
+	limit := autoSuspend.Seconds()
+	i := sort.SearchFloat64s(g.gaps, limit)
+	return float64(len(g.gaps)-i) / float64(len(g.gaps))
+}
+
+// telemetryPercentile is a local nearest-rank quantile on a sorted
+// slice.
+func telemetryPercentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

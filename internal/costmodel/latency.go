@@ -1,0 +1,137 @@
+// Package costmodel implements the paper's warehouse cost model (§5):
+// an analytical what-if query replay (§5.1) whose parameters — latency
+// scaling across warehouse sizes, query arrival gaps, and cluster
+// counts — are estimated from historical telemetry with machine
+// learning (§5.2). The model estimates the billable cost of the
+// *without-Keebo* counterfactual, which is both the basis of
+// value-based pricing and an input to the smart models' action
+// selection.
+package costmodel
+
+import (
+	"math"
+
+	"kwo/internal/cdw"
+	"kwo/internal/ml"
+	"kwo/internal/telemetry"
+)
+
+// defaultLogStep is the assumed log2 latency change per size step when
+// nothing has been learned yet: one step up roughly, but not exactly,
+// halves latency (queries rarely scale perfectly).
+const defaultLogStep = -0.85
+
+// LatencyModel scales query execution times across warehouse sizes.
+// Per the paper, KWO "trains a regression model to scale query
+// latencies across warehouse sizes", using identical queries (text
+// hash) or similar queries (template hash) observed on different sizes;
+// where history is insufficient it falls back to the warehouse-wide
+// average impact.
+type LatencyModel struct {
+	// perTemplate maps template hash → fitted log2(exec) = a + b·size
+	// (+ c·cold) regression.
+	perTemplate map[uint64]*ml.Ridge
+	// global is the pooled fallback regression across all templates.
+	global *ml.Ridge
+	// globalLogStep caches the fitted global slope b.
+	globalLogStep float64
+	// coldRatio is the average observed cold/warm latency ratio, used
+	// by action-impact estimates.
+	coldRatio float64
+	fitted    bool
+}
+
+// minObsPerTemplate is how many observations across at least two
+// distinct sizes a template needs for its own regression.
+const minObsPerTemplate = 4
+
+// FitLatency trains the model from grouped per-template observations.
+func FitLatency(obs map[uint64][]telemetry.LatencyObs) *LatencyModel {
+	m := &LatencyModel{
+		perTemplate:   make(map[uint64]*ml.Ridge),
+		globalLogStep: defaultLogStep,
+		coldRatio:     1.5,
+	}
+	var allRows [][]float64
+	var allY []float64
+	var coldSum, warmSum float64
+	var coldN, warmN int
+	for tmpl, list := range obs {
+		var rows [][]float64
+		var y []float64
+		sizes := map[cdw.Size]bool{}
+		for _, o := range list {
+			if o.ExecSecs <= 0 {
+				continue
+			}
+			cold := 0.0
+			if o.Cold {
+				cold = 1
+				coldSum += o.ExecSecs
+				coldN++
+			} else {
+				warmSum += o.ExecSecs
+				warmN++
+			}
+			row := []float64{float64(o.Size), cold}
+			rows = append(rows, row)
+			y = append(y, math.Log2(o.ExecSecs))
+			sizes[o.Size] = true
+			allRows = append(allRows, row)
+			allY = append(allY, math.Log2(o.ExecSecs))
+		}
+		if len(rows) >= minObsPerTemplate && len(sizes) >= 2 {
+			r := &ml.Ridge{Lambda: 0.1}
+			if err := r.Fit(ml.FromRows(rows), y); err == nil {
+				// Sanity: slope must be negative (bigger is never
+				// slower on average) and not absurdly steep.
+				if r.Weights[0] < 0 && r.Weights[0] > -2 {
+					m.perTemplate[tmpl] = r
+				}
+			}
+		}
+	}
+	if len(allRows) > 0 {
+		g := &ml.Ridge{Lambda: 1.0}
+		if err := g.Fit(ml.FromRows(allRows), allY); err == nil {
+			m.global = g
+			if g.Weights[0] < 0 && g.Weights[0] > -2 {
+				m.globalLogStep = g.Weights[0]
+			}
+		}
+		m.fitted = true
+	}
+	if coldN > 0 && warmN > 0 {
+		ratio := (coldSum / float64(coldN)) / (warmSum / float64(warmN))
+		if ratio > 1 && ratio < 20 {
+			m.coldRatio = ratio
+		}
+	}
+	return m
+}
+
+// ScaleExec converts an observed execution time at fromSize into the
+// predicted execution time at toSize for the given template.
+func (m *LatencyModel) ScaleExec(template uint64, execSecs float64, from, to cdw.Size) float64 {
+	if from == to || execSecs <= 0 {
+		return execSecs
+	}
+	step := m.globalLogStep
+	if r, ok := m.perTemplate[template]; ok {
+		step = r.Weights[0]
+	}
+	return execSecs * math.Exp2(step*float64(to-from))
+}
+
+// LogStep returns the warehouse-wide fitted log2 latency slope per size
+// step (negative; −1 means perfect halving).
+func (m *LatencyModel) LogStep() float64 { return m.globalLogStep }
+
+// ColdRatio returns the average observed cold/warm latency ratio.
+func (m *LatencyModel) ColdRatio() float64 { return m.coldRatio }
+
+// Fitted reports whether any training data was seen.
+func (m *LatencyModel) Fitted() bool { return m.fitted }
+
+// TemplateCount returns how many templates earned their own regression.
+func (m *LatencyModel) TemplateCount() int { return len(m.perTemplate) }

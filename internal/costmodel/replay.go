@@ -1,0 +1,166 @@
+package costmodel
+
+import (
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/telemetry"
+)
+
+// ReplayResult is the outcome of a without-Keebo what-if replay over a
+// time range (§5.1).
+type ReplayResult struct {
+	From, To time.Time
+
+	// Credits is the estimated billable cost had none of KWO's
+	// optimizations been applied.
+	Credits float64
+	// ActiveSeconds is the estimated warehouse-active wall-clock
+	// (single-cluster equivalent seconds before the cluster
+	// multiplier).
+	ActiveSeconds float64
+	// Resumes is the number of distinct busy periods, each of which
+	// would have incurred a resume (and the 60-second minimum).
+	Resumes int
+	// Queries is how many telemetry rows were replayed.
+	Queries int
+}
+
+// busyPeriod is one contiguous interval in which the without-Keebo
+// warehouse would have been running: queries executing back-to-back,
+// bridged whenever the next arrival lands before the auto-suspend
+// timer would have fired.
+type busyPeriod struct {
+	start time.Time
+	end   time.Time // last completion; billing extends by auto-suspend
+}
+
+// Replay estimates the without-Keebo cost of the queries submitted in
+// [from, to) on the warehouse whose telemetry is log, assuming the
+// customer's original configuration orig had been in effect the whole
+// time.
+//
+// It walks the recorded queries in submission order (gaps between
+// arrivals are preserved, per §5.2: "the gaps should not change with
+// warehouse optimization"), rescales each execution time from the size
+// it actually ran at to the original size using the latency model,
+// merges executions into busy periods bridged by the original
+// auto-suspend interval, predicts the cluster count per mini-window
+// using the cluster model, and prices the result at the original
+// size's hourly rate.
+func (m *Model) Replay(log *telemetry.WarehouseLog, from, to time.Time) ReplayResult {
+	res := ReplayResult{From: from, To: to}
+	recs := log.SubmittedBetween(from, to)
+	res.Queries = len(recs)
+	if len(recs) == 0 {
+		return res
+	}
+	orig := m.Orig
+	autoSuspend := orig.AutoSuspend
+	if autoSuspend <= 0 {
+		// A warehouse with auto-suspend disabled would have run
+		// continuously; model it as a very long bridge.
+		autoSuspend = to.Sub(from)
+	}
+
+	// Pass 1: busy periods at the original size.
+	var periods []busyPeriod
+	var cur *busyPeriod
+	for _, r := range recs {
+		exec := m.Latency.ScaleExec(r.TemplateHash, r.ExecDuration.Seconds(), r.Size, orig.Size)
+		start := r.SubmitTime
+		end := start.Add(time.Duration(exec * float64(time.Second)))
+		if cur != nil && !start.After(cur.end.Add(autoSuspend)) {
+			if end.After(cur.end) {
+				cur.end = end
+			}
+			continue
+		}
+		if cur != nil {
+			periods = append(periods, *cur)
+		}
+		cur = &busyPeriod{start: start, end: end}
+	}
+	if cur != nil {
+		periods = append(periods, *cur)
+	}
+	res.Resumes = len(periods)
+
+	// Pass 2: billed intervals — each busy period runs on for the
+	// auto-suspend interval after its last completion (idle billing),
+	// with the 60-second resume minimum applied.
+	type billed struct{ start, end time.Time }
+	var billedIvs []billed
+	for _, p := range periods {
+		end := p.end.Add(autoSuspend)
+		if min := p.start.Add(cdw.MinBilledClusterTime); end.Before(min) {
+			end = min
+		}
+		billedIvs = append(billedIvs, billed{p.start, end})
+		res.ActiveSeconds += end.Sub(p.start).Seconds()
+	}
+
+	// Pass 3: price each mini-window: overlap of billed intervals with
+	// the window × predicted cluster count × original hourly rate.
+	rate := orig.Size.CreditsPerHour()
+	horizon := billedIvs[len(billedIvs)-1].end
+	for w := from.Truncate(MiniWindow); w.Before(horizon); w = w.Add(MiniWindow) {
+		wEnd := w.Add(MiniWindow)
+		var activeSecs float64
+		for _, iv := range billedIvs {
+			s, e := iv.start, iv.end
+			if s.Before(w) {
+				s = w
+			}
+			if e.After(wEnd) {
+				e = wEnd
+			}
+			if e.After(s) {
+				activeSecs += e.Sub(s).Seconds()
+			}
+		}
+		if activeSecs == 0 {
+			continue
+		}
+		ws := windowArrivalStats(recs, m.Latency, orig.Size, w, wEnd)
+		clusters := 1.0
+		if orig.MaxClusters > 1 {
+			clusters = m.Clusters.Predict(ws.qph, ws.avgExecSecs, orig.MaxClusters)
+			if clusters < float64(orig.MinClusters) {
+				clusters = float64(orig.MinClusters)
+			}
+		} else if orig.MinClusters > 1 {
+			clusters = float64(orig.MinClusters)
+		}
+		res.Credits += activeSecs / 3600 * rate * clusters
+	}
+	return res
+}
+
+// windowStats summarizes arrivals in a mini-window for cluster
+// prediction.
+type windowArrival struct {
+	qph         float64
+	avgExecSecs float64
+}
+
+func windowArrivalStats(recs []cdw.QueryRecord, lm *LatencyModel, origSize cdw.Size, from, to time.Time) windowArrival {
+	var n int
+	var sumExec float64
+	for _, r := range recs {
+		if r.SubmitTime.Before(from) || !r.SubmitTime.Before(to) {
+			continue
+		}
+		n++
+		sumExec += lm.ScaleExec(r.TemplateHash, r.ExecDuration.Seconds(), r.Size, origSize)
+	}
+	out := windowArrival{}
+	hours := to.Sub(from).Hours()
+	if hours > 0 {
+		out.qph = float64(n) / hours
+	}
+	if n > 0 {
+		out.avgExecSecs = sumExec / float64(n)
+	}
+	return out
+}

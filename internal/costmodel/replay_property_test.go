@@ -1,0 +1,113 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/telemetry"
+)
+
+// synthLog fabricates a telemetry log with n random isolated queries.
+func synthLog(rng *rand.Rand, n int, size cdw.Size) *telemetry.WarehouseLog {
+	log := &telemetry.WarehouseLog{Name: "W"}
+	at := t0
+	for i := 0; i < n; i++ {
+		at = at.Add(time.Duration(rng.Intn(3600)+1) * time.Second)
+		exec := time.Duration(rng.Intn(300)+1) * time.Second
+		log.Queries = append(log.Queries, cdw.QueryRecord{
+			Warehouse: "W", TemplateHash: uint64(rng.Intn(5)),
+			SubmitTime: at, StartTime: at, EndTime: at.Add(exec),
+			ExecDuration: exec, Size: size, Clusters: 1,
+		})
+	}
+	return log
+}
+
+// Property: replay credits are non-negative, and replaying a window
+// that contains all queries costs at least as much as any sub-window.
+func TestPropertyReplayMonotoneInWindow(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := synthLog(rng, int(n)%40+2, cdw.SizeSmall)
+		cfg := cdw.Config{Name: "W", Size: cdw.SizeSmall, MinClusters: 1,
+			MaxClusters: 1, AutoSuspend: 5 * time.Minute, AutoResume: true}
+		last := log.Queries[len(log.Queries)-1].EndTime
+		m := Train(log, cfg, t0, last.Add(time.Hour), 8)
+		full := m.Replay(log, t0, last.Add(time.Hour))
+		if full.Credits < 0 || full.ActiveSeconds < 0 {
+			return false
+		}
+		// Sub-window covering the first half of the queries.
+		mid := log.Queries[len(log.Queries)/2].SubmitTime
+		half := m.Replay(log, t0, mid)
+		if half.Credits < 0 || half.Credits > full.Credits+1e-9 {
+			return false
+		}
+		// Replay never bills below the 60s-minimum floor per resume.
+		minCredits := float64(full.Resumes) * 60.0 / 3600 * cfg.Size.CreditsPerHour()
+		return full.Credits >= minCredits-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the without-Keebo estimate at a LARGER original size always
+// costs at least as much per active period as the same replay at the
+// recorded size would, for single-cluster warehouses — rate doubles
+// faster than the latency model shrinks time (slope > -1).
+func TestPropertyReplayOriginalSizeOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := synthLog(rng, int(n)%30+2, cdw.SizeSmall)
+		last := log.Queries[len(log.Queries)-1].EndTime.Add(time.Hour)
+		small := cdw.Config{Name: "W", Size: cdw.SizeSmall, MinClusters: 1,
+			MaxClusters: 1, AutoSuspend: 2 * time.Minute, AutoResume: true}
+		large := small
+		large.Size = cdw.SizeLarge
+		mSmall := Train(log, small, t0, last, 8)
+		mLarge := Train(log, large, t0, last, 8)
+		cSmall := mSmall.Replay(log, t0, last).Credits
+		cLarge := mLarge.Replay(log, t0, last).Credits
+		return cLarge >= cSmall-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EstimateCPH is non-negative and bounded by the full-rate
+// ceiling (every cluster busy all the time).
+func TestPropertyEstimateCPHBounded(t *testing.T) {
+	f := func(seed int64, qph uint16, execSecs uint8, sizeIdx, maxC uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := synthLog(rng, 20, cdw.SizeSmall)
+		cfg := cdw.Config{
+			Name:        "W",
+			Size:        cdw.Size(sizeIdx % 10),
+			MinClusters: 1,
+			MaxClusters: int(maxC%10) + 1,
+			AutoSuspend: 5 * time.Minute,
+			AutoResume:  true,
+		}
+		m := Train(log, cfg, t0, t0.Add(24*time.Hour), 8)
+		ws := telemetry.WindowStats{
+			Queries: 50,
+			QPH:     float64(qph),
+			AvgExec: time.Duration(execSecs) * time.Second,
+			AvgSize: float64(cfg.Size),
+		}
+		cph := m.EstimateCPH(ws, cfg)
+		if cph < 0 {
+			return false
+		}
+		ceiling := cfg.Size.CreditsPerHour() * float64(cfg.MaxClusters)
+		return cph <= ceiling+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment harnesses are the reproduction's deliverable: these
+// tests assert the paper's qualitative claims (who wins, rough factors,
+// monotonicity), not the absolute production numbers.
+
+func TestFig4aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulation")
+	}
+	res := Fig4a(1)
+	if len(res.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(res.Rows))
+	}
+	t.Logf("fig4a: pre %.1f → kwo %.1f (−%.1f%%), p99 %.0fs → %.0fs",
+		res.PreAvgDaily, res.KwoAvgDaily, res.ReductionPct, res.PreP99Secs, res.KwoP99Secs)
+	// Paper: −59.7% on the unpredictable workload. Accept a generous
+	// band around it; the substrate and workload differ.
+	if res.ReductionPct < 30 || res.ReductionPct > 80 {
+		t.Fatalf("reduction %.1f%% outside [30, 80] band (paper: 59.7%%)", res.ReductionPct)
+	}
+	// Paper: "no noticeable latency changes".
+	if res.KwoP99Secs > 1.8*res.PreP99Secs {
+		t.Fatalf("p99 noticeably degraded: %.0fs → %.0fs", res.PreP99Secs, res.KwoP99Secs)
+	}
+	if !strings.Contains(res.String(), "with-KWO") || !strings.Contains(res.CSV(), "with_kwo") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulation")
+	}
+	res := Fig4b(1)
+	t.Logf("fig4b: pre %.1f → kwo %.1f (−%.1f%%), p99 %.0fs → %.0fs",
+		res.PreAvgDaily, res.KwoAvgDaily, res.ReductionPct, res.PreP99Secs, res.KwoP99Secs)
+	// Paper: −13.2% on the predictable workload — modest but real.
+	if res.ReductionPct < 5 || res.ReductionPct > 40 {
+		t.Fatalf("reduction %.1f%% outside [5, 40] band (paper: 13.2%%)", res.ReductionPct)
+	}
+	// Predictable workload has much steadier pre-KWO usage than 4a:
+	// assert low variance across pre days.
+	var lo, hi = res.Rows[0].Credits, res.Rows[0].Credits
+	for _, r := range res.Rows[:7] {
+		if r.Credits < lo {
+			lo = r.Credits
+		}
+		if r.Credits > hi {
+			hi = r.Credits
+		}
+	}
+	if hi > 1.2*lo {
+		t.Fatalf("pre-KWO ETL usage not steady: min %.1f max %.1f", lo, hi)
+	}
+	// Paper: p99 "interestingly lower with KWO than before".
+	if res.KwoP99Secs > 1.15*res.PreP99Secs {
+		t.Fatalf("ETL p99 degraded: %.0fs → %.0fs", res.PreP99Secs, res.KwoP99Secs)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulation")
+	}
+	res := Fig5(1)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		t.Logf("fig5 %s: actual %.2f est %.2f err %.2f%%", r.Warehouse, r.Actual, r.Estimated, r.RelErrPct)
+	}
+	// Normal warehouses: accurate estimates (paper: 0.67–4.09%).
+	for _, i := range []int{0, 1, 3} {
+		if res.Rows[i].RelErrPct > 10 {
+			t.Fatalf("%s rel err %.1f%% > 10%%", res.Rows[i].Warehouse, res.Rows[i].RelErrPct)
+		}
+	}
+	// The rarely-used warehouse must be the low-spend outlier with the
+	// largest relative error (paper: 20.9%).
+	w3 := res.Rows[2]
+	for _, i := range []int{0, 1, 3} {
+		if w3.Actual >= res.Rows[i].Actual {
+			t.Fatalf("Warehouse3 not the low-spend one")
+		}
+		if w3.RelErrPct < res.Rows[i].RelErrPct {
+			t.Fatalf("Warehouse3 error %.1f%% not the largest", w3.RelErrPct)
+		}
+	}
+	if !strings.Contains(res.CSV(), "rel_err_pct") {
+		t.Fatal("CSV broken")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulation")
+	}
+	res := Fig6(1)
+	if len(res.Rows) != 24 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	t.Logf("fig6: actual %.2f overhead %.4f (%.2f%%) savings %.2f cv %.3f",
+		res.TotalActual, res.TotalOverhead, res.OverheadPctOfActual, res.TotalSavings, res.WithoutKeeboCV)
+	// Paper: overhead "negligibly small".
+	if res.OverheadPctOfActual > 3 {
+		t.Fatalf("overhead %.2f%% of actual — not negligible", res.OverheadPctOfActual)
+	}
+	// Paper: savings significantly greater than overhead.
+	if res.TotalSavings < 20*res.TotalOverhead {
+		t.Fatalf("savings %.2f not ≫ overhead %.3f", res.TotalSavings, res.TotalOverhead)
+	}
+	// Paper: actual + savings nearly identical over hours (static ETL).
+	if res.WithoutKeeboCV > 0.25 {
+		t.Fatalf("actual+savings CV %.3f — not steady", res.WithoutKeeboCV)
+	}
+}
+
+func TestFig7ParetoShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five multi-day simulations")
+	}
+	res := Fig7(1)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		t.Logf("fig7 %d %s: %.2f credits/day, avg %.2fs", int(r.Slider), r.Slider, r.Credits, r.AvgLatency)
+	}
+	// Cost must (weakly) decrease toward Lowest Cost; small noise
+	// tolerated at adjacent positions.
+	for i := 1; i < 5; i++ {
+		if res.Rows[i].Credits > res.Rows[i-1].Credits*1.10 {
+			t.Fatalf("cost not decreasing: pos %d %.1f → pos %d %.1f",
+				i, res.Rows[i-1].Credits, i+1, res.Rows[i].Credits)
+		}
+	}
+	// Endpoints must differ strongly in both dimensions.
+	if res.Rows[4].Credits > 0.5*res.Rows[0].Credits {
+		t.Fatalf("Lowest Cost (%.1f) not well below Best Performance (%.1f)",
+			res.Rows[4].Credits, res.Rows[0].Credits)
+	}
+	if res.Rows[4].AvgLatency < 1.5*res.Rows[0].AvgLatency {
+		t.Fatalf("latency trade-off missing: %.2fs vs %.2fs",
+			res.Rows[0].AvgLatency, res.Rows[4].AvgLatency)
+	}
+	// Latency weakly increases toward Lowest Cost.
+	for i := 1; i < 5; i++ {
+		if res.Rows[i].AvgLatency < res.Rows[i-1].AvgLatency*0.80 {
+			t.Fatalf("latency not increasing: pos %d %.2fs → pos %d %.2fs",
+				i, res.Rows[i-1].AvgLatency, i+1, res.Rows[i].AvgLatency)
+		}
+	}
+}
+
+func TestOnboardingRamp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12-day simulation")
+	}
+	res := Onboarding(1)
+	t.Logf("onboarding: eventual %.1f%%, 50/70/95 at %d/%d/%d h (paper 20/43/83)",
+		res.EventualPct, res.HoursTo50, res.HoursTo70, res.HoursTo95)
+	if res.EventualPct < 20 {
+		t.Fatalf("eventual savings %.1f%% too small", res.EventualPct)
+	}
+	// The ramp is gradual and ordered: savings accrue over days, not
+	// minutes, per the paper's 20/43/83-hour milestones.
+	if !(res.HoursTo50 <= res.HoursTo70 && res.HoursTo70 <= res.HoursTo95) {
+		t.Fatalf("milestones not ordered: %d/%d/%d", res.HoursTo50, res.HoursTo70, res.HoursTo95)
+	}
+	if res.HoursTo95 < 24 {
+		t.Fatalf("95%% of savings after only %d hours — ramp too abrupt (paper: 83h)", res.HoursTo95)
+	}
+	if res.HoursTo50 > 48 {
+		t.Fatalf("50%% of savings took %d hours — ramp too slow (paper: 20h)", res.HoursTo50)
+	}
+}
+
+func TestSavingsBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four multi-day simulations")
+	}
+	res := SavingsBand(1)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]SavingsBandRow{}
+	for _, r := range res.Rows {
+		byName[r.Archetype] = r
+		t.Logf("band %s: %.1f%%", r.Archetype, r.SavingsPct)
+		// C1: never meaningfully worse than doing nothing.
+		if r.SavingsPct < -5 {
+			t.Fatalf("%s: KWO increased cost by %.1f%%", r.Archetype, -r.SavingsPct)
+		}
+	}
+	// The oversized warehouse saves much more than the right-sized one
+	// — the paper's "depending on their workload, customers observe
+	// 20%–70% savings".
+	if byName["oversized-bi"].SavingsPct < byName["rightsized-etl"].SavingsPct+15 {
+		t.Fatalf("oversized (%.1f%%) not clearly above right-sized (%.1f%%)",
+			byName["oversized-bi"].SavingsPct, byName["rightsized-etl"].SavingsPct)
+	}
+	if byName["oversized-bi"].SavingsPct < 20 {
+		t.Fatalf("best archetype saves only %.1f%%", byName["oversized-bi"].SavingsPct)
+	}
+}
+
+func TestAblationCostModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulation")
+	}
+	res := AblationCostModel(1)
+	t.Logf("cost-model ablation: trained %.1f%% vs default %.1f%%", res.TrainedErrPct, res.DefaultErrPct)
+	if !res.TrainedIsCloser {
+		t.Fatalf("learned parameter estimation did not improve accuracy: %+v", res)
+	}
+	if res.TrainedErrPct > 8 {
+		t.Fatalf("trained estimate err %.1f%% too large", res.TrainedErrPct)
+	}
+	if res.DefaultErrPct < 2*res.TrainedErrPct {
+		t.Fatalf("ablation effect too weak: default %.1f%% vs trained %.1f%%",
+			res.DefaultErrPct, res.TrainedErrPct)
+	}
+}
+
+func TestAblationBackoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two multi-day simulations")
+	}
+	res := AblationBackoff(1)
+	t.Logf("backoff ablation: reverts=%d p99 with %.1fs / without %.1fs",
+		res.WithReverts, res.P99With, res.P99Without)
+	if res.WithReverts == 0 {
+		t.Fatal("self-correcting arm never reverted under the spike")
+	}
+	if res.P99With <= 0 || res.P99Without <= 0 {
+		t.Fatal("missing post-spike latency data")
+	}
+}
+
+func TestValueOfLearning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four multi-day simulations")
+	}
+	res := ValueOfLearning(1)
+	byName := map[string]ValueOfLearningRow{}
+	for _, r := range res.Rows {
+		byName[r.Controller] = r
+		t.Logf("vol %s: %.1f credits/day, %.1f%% savings, p99 %.1fs",
+			r.Controller, r.DailyCred, r.SavingsPct, r.P99Secs)
+	}
+	// KWO saves substantially more than doing nothing or the static
+	// rule of thumb.
+	if byName["kwo"].SavingsPct < 30 {
+		t.Fatalf("KWO savings %.1f%% too small", byName["kwo"].SavingsPct)
+	}
+	// The reactive controller may save more, but only by sacrificing
+	// latency: KWO must Pareto-dominate it on performance.
+	if byName["reactive"].P99Secs < byName["kwo"].P99Secs {
+		t.Fatalf("reactive p99 (%.1fs) better than KWO (%.1fs) — unexpected",
+			byName["reactive"].P99Secs, byName["kwo"].P99Secs)
+	}
+	if byName["kwo"].P99Secs > 4*byName["static"].P99Secs {
+		t.Fatalf("KWO p99 %.1fs too far above static %.1fs",
+			byName["kwo"].P99Secs, byName["static"].P99Secs)
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/workload"
+)
+
+// Fig6Row is one hour of Figure 6: actual usage, KWO overhead, and
+// estimated savings.
+type Fig6Row struct {
+	Hour             int
+	ActualCredits    float64
+	OverheadCredits  float64
+	EstimatedSavings float64
+}
+
+// Fig6Result reproduces Figure 6: hourly actual credit usage (blue),
+// KWO's own overhead (red, negligible), and estimated savings (green)
+// for a warehouse with a static ETL workload. The paper highlights two
+// properties: overhead ≪ savings, and actual + savings (the expected
+// total without Keebo) is nearly constant hour over hour.
+type Fig6Result struct {
+	Rows []Fig6Row
+
+	TotalActual   float64
+	TotalOverhead float64
+	TotalSavings  float64
+	// OverheadPctOfActual should be well under 1%.
+	OverheadPctOfActual float64
+	// WithoutKeeboCV is the coefficient of variation of hourly
+	// (actual + savings); small for the static workload.
+	WithoutKeeboCV float64
+}
+
+// String renders the figure as a text table.
+func (f Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — hourly actual usage vs KWO overhead vs estimated savings\n")
+	fmt.Fprintf(&b, "%-5s %-9s %-10s %s\n", "hour", "actual", "overhead", "est.savings")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-5d %-9.3f %-10.5f %.3f\n",
+			r.Hour, r.ActualCredits, r.OverheadCredits, r.EstimatedSavings)
+	}
+	fmt.Fprintf(&b, "totals: actual %.2f, overhead %.4f (%.3f%% of actual), savings %.2f\n",
+		f.TotalActual, f.TotalOverhead, f.OverheadPctOfActual, f.TotalSavings)
+	fmt.Fprintf(&b, "hourly (actual+savings) coefficient of variation: %.3f\n", f.WithoutKeeboCV)
+	return b.String()
+}
+
+// CSV renders the rows for plotting.
+func (f Fig6Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("hour,actual,overhead,estimated_savings\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%d,%.5f,%.6f,%.5f\n", r.Hour, r.ActualCredits, r.OverheadCredits, r.EstimatedSavings)
+	}
+	return b.String()
+}
+
+// Fig6 runs an ETL warehouse with KWO active and reports 24 hourly rows
+// from the third with-KWO day (steady state).
+func Fig6(seed int64) Fig6Result {
+	_, etlPool, _ := workload.StandardPools()
+	cfg := cdw.Config{
+		Name: "ETL_WH", Size: cdw.SizeMedium, MinClusters: 1, MaxClusters: 1,
+		Policy: cdw.ScaleStandard, AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}
+	gen := workload.ETL{
+		Pool: etlPool, Period: time.Hour, Offset: 5 * time.Minute,
+		JobsPerBatch: 6, Jitter: 2 * time.Minute,
+	}
+	preDays, kwoDays := 2, 4
+	run := Scenario{Name: "fig6", Seed: seed, Orig: cfg, Gen: gen,
+		PreDays: preDays, KwoDays: kwoDays}.Execute()
+
+	// Report the 24 hours of the third with-KWO day.
+	dayStart := run.Attach.Add(2 * 24 * time.Hour)
+	hours, err := run.Engine.HourlySeries(cfg.Name, dayStart, 24)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	res := Fig6Result{}
+	var withoutKeebo []float64
+	for i, h := range hours {
+		res.Rows = append(res.Rows, Fig6Row{
+			Hour:             i,
+			ActualCredits:    h.ActualCredits,
+			OverheadCredits:  h.OverheadCredits,
+			EstimatedSavings: h.EstimatedSavings,
+		})
+		res.TotalActual += h.ActualCredits
+		res.TotalOverhead += h.OverheadCredits
+		res.TotalSavings += h.EstimatedSavings
+		withoutKeebo = append(withoutKeebo, h.ActualCredits+h.EstimatedSavings)
+	}
+	if res.TotalActual > 0 {
+		res.OverheadPctOfActual = 100 * res.TotalOverhead / res.TotalActual
+	}
+	mean := Mean(withoutKeebo)
+	if mean > 0 {
+		var ss float64
+		for _, x := range withoutKeebo {
+			ss += (x - mean) * (x - mean)
+		}
+		res.WithoutKeeboCV = math.Sqrt(ss/float64(len(withoutKeebo))) / mean
+	}
+	return res
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§7) on the simulated substrate: Figure 4 (savings
+// on unpredictable and predictable workloads), Figure 5 (cost-model
+// accuracy), Figure 6 (overhead vs savings), Figure 7 (the slider's
+// Pareto trade-off), the onboarding ramp quoted in §1/§9, the 20–70%
+// savings band, and the ablations DESIGN.md calls out.
+//
+// Absolute magnitudes differ from the paper's production fleet — the
+// substrate is a simulator — but each harness reports the paper's
+// numbers alongside the measured ones so the shape can be compared
+// directly.
+package experiments
+
+import (
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/core"
+	"kwo/internal/simclock"
+	"kwo/internal/workload"
+)
+
+// Epoch aliases the simulation start (Monday 00:00 UTC).
+var Epoch = simclock.Epoch
+
+// Scenario is a reusable pre/with-KWO experiment setup.
+type Scenario struct {
+	Name     string
+	Seed     int64
+	Orig     cdw.Config
+	Gen      workload.Generator
+	PreDays  int
+	KwoDays  int
+	Settings core.WarehouseSettings
+	Opts     core.Options
+}
+
+// Run is the materialized outcome of a scenario.
+type Run struct {
+	Sched  *simclock.Scheduler
+	Acct   *cdw.Account
+	Engine *core.Engine
+	SM     *core.SmartModel
+	Attach time.Time // when KWO was enabled
+	End    time.Time
+}
+
+// ExperimentOptions returns the engine options used across experiments:
+// production cadence with a training budget small enough to keep the
+// full suite fast.
+func ExperimentOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.PretrainSteps = 200
+	opts.TrainEvery = 4 * time.Hour
+	return opts
+}
+
+// Execute runs the scenario: PreDays of workload without KWO, then
+// KwoDays with the engine attached and started.
+func (s Scenario) Execute() *Run {
+	opts := s.Opts
+	if opts.DecideEvery == 0 {
+		opts = ExperimentOptions()
+	}
+	sched := simclock.NewScheduler(s.Seed)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	engine := core.NewEngine(acct, opts)
+	if _, err := acct.CreateWarehouse(s.Orig); err != nil {
+		panic("experiments: " + err.Error())
+	}
+	end := Epoch.Add(time.Duration(s.PreDays+s.KwoDays) * 24 * time.Hour)
+	arr := s.Gen.Generate(Epoch, end, sched.Rand("workload:"+s.Name))
+	workload.Drive(sched, acct, s.Orig.Name, arr)
+
+	attach := Epoch.Add(time.Duration(s.PreDays) * 24 * time.Hour)
+	sched.RunUntil(attach)
+	var sm *core.SmartModel
+	if s.KwoDays > 0 {
+		settings := s.Settings
+		if !settings.Slider.Valid() {
+			settings = core.DefaultSettings()
+		}
+		var err error
+		sm, err = engine.Attach(s.Orig.Name, settings)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		engine.Start()
+	}
+	sched.RunUntil(end.Add(time.Hour))
+	return &Run{Sched: sched, Acct: acct, Engine: engine, SM: sm,
+		Attach: attach, End: end}
+}
+
+// DailyCredits returns per-day billed credits from day `fromDay`
+// (0-based) for `days` days.
+func (r *Run) DailyCredits(fromDay, days int) []float64 {
+	wh, err := r.Acct.Warehouse(r.warehouseName())
+	if err != nil {
+		return nil
+	}
+	start := Epoch.Add(time.Duration(fromDay) * 24 * time.Hour)
+	return wh.Meter().Daily(start, days, r.Sched.Now())
+}
+
+func (r *Run) warehouseName() string {
+	names := r.Acct.WarehouseNames()
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
+}
+
+// DayP99 returns the day's p99 total latency in seconds.
+func (r *Run) DayP99(day int) float64 {
+	log := r.Engine.Store().Log(r.warehouseName())
+	s := Epoch.Add(time.Duration(day) * 24 * time.Hour)
+	return log.Stats(s, s.Add(24*time.Hour)).P99Latency.Seconds()
+}
+
+// WindowStats returns telemetry stats over an arbitrary window.
+func (r *Run) WindowStats(from, to time.Time) (avgLatency, p99Latency float64, queries int) {
+	log := r.Engine.Store().Log(r.warehouseName())
+	ws := log.Stats(from, to)
+	return ws.AvgLatency.Seconds(), ws.P99Latency.Seconds(), ws.Queries
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// oversizedBI is the recurring "unpredictability + overprovisioning"
+// setup: a Large warehouse serving dashboard traffic that would fit a
+// much smaller one.
+func oversizedBI(maxClusters int) (cdw.Config, workload.Generator) {
+	biPool, _, _ := workload.StandardPools()
+	cfg := cdw.Config{
+		Name: "BI_WH", Size: cdw.SizeLarge, MinClusters: 1, MaxClusters: maxClusters,
+		Policy: cdw.ScaleStandard, AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}
+	return cfg, workload.BI{Pool: biPool, PeakQPH: 60, WeekendFactor: 0.3}
+}

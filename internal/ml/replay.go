@@ -1,0 +1,64 @@
+package ml
+
+import "math/rand"
+
+// Transition is one reinforcement-learning experience tuple.
+type Transition struct {
+	State     []float64
+	Action    int
+	Reward    float64
+	NextState []float64
+	Terminal  bool
+}
+
+// ReplayBuffer is a fixed-capacity ring buffer of transitions with
+// uniform random sampling — standard DQN experience replay. The paper
+// notes KWO's DRL "benefits from having access to large historical
+// telemetry data"; offline pre-training fills this buffer from history
+// before any live action is taken.
+type ReplayBuffer struct {
+	capacity int
+	buf      []Transition
+	next     int
+	full     bool
+}
+
+// NewReplayBuffer allocates a buffer holding up to capacity transitions.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &ReplayBuffer{capacity: capacity, buf: make([]Transition, 0, capacity)}
+}
+
+// Add appends a transition, evicting the oldest when full.
+func (b *ReplayBuffer) Add(t Transition) {
+	if len(b.buf) < b.capacity {
+		b.buf = append(b.buf, t)
+		return
+	}
+	b.buf[b.next] = t
+	b.next = (b.next + 1) % b.capacity
+	b.full = true
+}
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int { return len(b.buf) }
+
+// Sample draws n transitions uniformly with replacement. It returns
+// fewer (all, in order) if the buffer holds fewer than n.
+func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	if len(b.buf) <= n {
+		out := make([]Transition, len(b.buf))
+		copy(out, b.buf)
+		return out
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = b.buf[rng.Intn(len(b.buf))]
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package policy
+
+import "fmt"
+
+// Slider is the single per-warehouse control the customer moves between
+// "Best Performance" and "Lowest Cost" (§4.1). KWO maps it internally
+// to the hyper-parameters of the learning algorithm, so customers never
+// reason about individual optimizations.
+type Slider int
+
+const (
+	// BestPerformance provisions headroom and avoids any action with
+	// slowdown potential.
+	BestPerformance Slider = 1
+	// GoodPerformance reduces the chances of slowdown, e.g.
+	// provisioning for sudden spikes.
+	GoodPerformance Slider = 2
+	// Balanced (the default) applies only optimizations that cut cost
+	// without degrading performance.
+	Balanced Slider = 3
+	// LowCost accepts a small performance degradation for savings.
+	LowCost Slider = 4
+	// LowestCost minimizes spend aggressively.
+	LowestCost Slider = 5
+)
+
+// String returns the label shown in the portal.
+func (s Slider) String() string {
+	switch s {
+	case BestPerformance:
+		return "Best Performance"
+	case GoodPerformance:
+		return "Good Performance"
+	case Balanced:
+		return "Balanced"
+	case LowCost:
+		return "Low Cost"
+	case LowestCost:
+		return "Lowest Cost"
+	default:
+		return fmt.Sprintf("Slider(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is one of the five positions.
+func (s Slider) Valid() bool { return s >= BestPerformance && s <= LowestCost }
+
+// Tuning is the internal hyper-parameter set a slider position expands
+// into. The smart model and the reward function consume these; the
+// customer only ever sees the slider.
+type Tuning struct {
+	// PerfPenalty is λ, the weight of performance degradation in the
+	// RL reward relative to credits spent. High λ makes slowdowns
+	// expensive to the agent.
+	PerfPenalty float64
+	// MaxLatencyFactor is the largest predicted latency multiplier the
+	// smart model will accept from a cost-saving action.
+	MaxLatencyFactor float64
+	// MaxAddedLatency is the absolute added average latency (seconds)
+	// accepted from a cost-saving action even when the relative factor
+	// exceeds MaxLatencyFactor — an oversized warehouse running 0.5s
+	// queries can be downsized even if they become 0.9s queries.
+	MaxAddedLatency float64
+	// MaxQueueRisk is the largest predicted queueing risk accepted.
+	MaxQueueRisk float64
+	// MinSavingsToAct is the minimum predicted credits/hour saving
+	// before a disruptive action is worth taking.
+	MinSavingsToAct float64
+	// SpikeSensitivity scales the monitor's spike thresholds: <1 trips
+	// earlier (more conservative), >1 tolerates more noise.
+	SpikeSensitivity float64
+	// CooldownTicks is how many decision ticks the model stays
+	// conservative after a backoff.
+	CooldownTicks int
+	// Explore is the ε floor for online exploration; aggressive
+	// positions explore more.
+	Explore float64
+	// Headroom biases sizing upward: fraction of extra capacity kept
+	// for spikes.
+	Headroom float64
+}
+
+// Tuning expands the slider position. The mapping is monotone in every
+// field: moving toward LowestCost always lowers the protection knobs
+// and raises the savings appetite, which is what makes the slider's
+// behaviour intuitive (§7.4).
+func (s Slider) Tuning() Tuning {
+	switch s {
+	case BestPerformance:
+		return Tuning{
+			PerfPenalty:      40,
+			MaxLatencyFactor: 1.02,
+			MaxAddedLatency:  0.1,
+			MaxQueueRisk:     0.0,
+			MinSavingsToAct:  0.50,
+			SpikeSensitivity: 0.5,
+			CooldownTicks:    12,
+			Explore:          0.01,
+			Headroom:         0.5,
+		}
+	case GoodPerformance:
+		return Tuning{
+			PerfPenalty:      16,
+			MaxLatencyFactor: 1.10,
+			MaxAddedLatency:  0.5,
+			MaxQueueRisk:     0.05,
+			MinSavingsToAct:  0.20,
+			SpikeSensitivity: 0.7,
+			CooldownTicks:    9,
+			Explore:          0.02,
+			Headroom:         0.3,
+		}
+	case LowCost:
+		return Tuning{
+			PerfPenalty:      4,
+			MaxLatencyFactor: 1.60,
+			MaxAddedLatency:  10,
+			MaxQueueRisk:     0.25,
+			MinSavingsToAct:  0.02,
+			SpikeSensitivity: 1.3,
+			CooldownTicks:    4,
+			Explore:          0.06,
+			Headroom:         0.05,
+		}
+	case LowestCost:
+		return Tuning{
+			PerfPenalty:      1.5,
+			MaxLatencyFactor: 2.50,
+			MaxAddedLatency:  45,
+			MaxQueueRisk:     0.50,
+			MinSavingsToAct:  0.005,
+			SpikeSensitivity: 1.6,
+			CooldownTicks:    2,
+			Explore:          0.08,
+			Headroom:         0.0,
+		}
+	default: // Balanced
+		return Tuning{
+			PerfPenalty:      8,
+			MaxLatencyFactor: 1.30,
+			MaxAddedLatency:  2.5,
+			MaxQueueRisk:     0.10,
+			MinSavingsToAct:  0.05,
+			SpikeSensitivity: 1.0,
+			CooldownTicks:    6,
+			Explore:          0.04,
+			Headroom:         0.15,
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package pricing implements KWO's value-based pricing (§4.7): the
+// customer is charged a percentage of the savings actually realized —
+// "no savings, no charges" — with savings estimated by the warehouse
+// cost model's what-if analysis.
+package pricing
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultRate is the fraction of realized savings billed to the
+// customer.
+const DefaultRate = 0.20
+
+// Invoice is one billing-period statement.
+type Invoice struct {
+	Warehouse string
+	From, To  time.Time
+	// ActualCredits is what the customer paid the CDW vendor.
+	ActualCredits float64
+	// EstimatedWithoutKeebo is the cost model's counterfactual.
+	EstimatedWithoutKeebo float64
+	// Savings is max(0, EstimatedWithoutKeebo − ActualCredits).
+	Savings float64
+	// Rate is the fraction of savings charged.
+	Rate float64
+	// Charge is Savings × Rate.
+	Charge float64
+}
+
+// NewInvoice computes an invoice from the period's actual and
+// counterfactual costs. Negative savings never produce a charge (and
+// are reported as zero savings): the customer has nothing to lose (C1).
+func NewInvoice(warehouse string, from, to time.Time, actual, withoutKeebo, rate float64) Invoice {
+	if rate <= 0 || rate >= 1 {
+		rate = DefaultRate
+	}
+	savings := withoutKeebo - actual
+	if savings < 0 {
+		savings = 0
+	}
+	return Invoice{
+		Warehouse:             warehouse,
+		From:                  from,
+		To:                    to,
+		ActualCredits:         actual,
+		EstimatedWithoutKeebo: withoutKeebo,
+		Savings:               savings,
+		Rate:                  rate,
+		Charge:                savings * rate,
+	}
+}
+
+// SavingsPercent returns savings as a percentage of the counterfactual
+// cost (the number the paper's "20%–70% savings" claim refers to).
+func (i Invoice) SavingsPercent() float64 {
+	if i.EstimatedWithoutKeebo <= 0 {
+		return 0
+	}
+	return 100 * i.Savings / i.EstimatedWithoutKeebo
+}
+
+// String renders a one-line statement.
+func (i Invoice) String() string {
+	return fmt.Sprintf("%s %s→%s: actual %.2f, without-Keebo %.2f, savings %.2f (%.1f%%), charge %.2f",
+		i.Warehouse, i.From.Format("2006-01-02"), i.To.Format("2006-01-02"),
+		i.ActualCredits, i.EstimatedWithoutKeebo, i.Savings, i.SavingsPercent(), i.Charge)
+}
+
+// Ledger accumulates invoices per warehouse.
+type Ledger struct {
+	Rate     float64
+	invoices []Invoice
+}
+
+// NewLedger creates a ledger with the given savings share.
+func NewLedger(rate float64) *Ledger {
+	if rate <= 0 || rate >= 1 {
+		rate = DefaultRate
+	}
+	return &Ledger{Rate: rate}
+}
+
+// Add computes and stores an invoice, returning it.
+func (l *Ledger) Add(warehouse string, from, to time.Time, actual, withoutKeebo float64) Invoice {
+	inv := NewInvoice(warehouse, from, to, actual, withoutKeebo, l.Rate)
+	l.invoices = append(l.invoices, inv)
+	return inv
+}
+
+// Invoices returns a copy of all invoices.
+func (l *Ledger) Invoices() []Invoice {
+	out := make([]Invoice, len(l.invoices))
+	copy(out, l.invoices)
+	return out
+}
+
+// TotalSavings sums savings across invoices.
+func (l *Ledger) TotalSavings() float64 {
+	var s float64
+	for _, inv := range l.invoices {
+		s += inv.Savings
+	}
+	return s
+}
+
+// TotalCharges sums charges across invoices.
+func (l *Ledger) TotalCharges() float64 {
+	var s float64
+	for _, inv := range l.invoices {
+		s += inv.Charge
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package pricing
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kwo/internal/simclock"
+)
+
+var t0 = simclock.Epoch
+
+func TestInvoiceBasic(t *testing.T) {
+	inv := NewInvoice("W", t0, t0.Add(24*time.Hour), 40, 100, 0.2)
+	if inv.Savings != 60 {
+		t.Fatalf("savings = %v", inv.Savings)
+	}
+	if inv.Charge != 12 {
+		t.Fatalf("charge = %v", inv.Charge)
+	}
+	if math.Abs(inv.SavingsPercent()-60) > 1e-9 {
+		t.Fatalf("savings %% = %v", inv.SavingsPercent())
+	}
+	if !strings.Contains(inv.String(), "savings 60.00") {
+		t.Fatalf("String() = %q", inv.String())
+	}
+}
+
+func TestNoSavingsNoCharge(t *testing.T) {
+	inv := NewInvoice("W", t0, t0.Add(time.Hour), 100, 80, 0.2)
+	if inv.Savings != 0 || inv.Charge != 0 {
+		t.Fatalf("negative savings billed: %+v", inv)
+	}
+	if inv.SavingsPercent() != 0 {
+		t.Fatal("savings percent nonzero")
+	}
+}
+
+func TestBadRateDefaults(t *testing.T) {
+	for _, r := range []float64{-1, 0, 1, 2} {
+		inv := NewInvoice("W", t0, t0.Add(time.Hour), 0, 100, r)
+		if inv.Rate != DefaultRate {
+			t.Fatalf("rate %v not defaulted: %v", r, inv.Rate)
+		}
+	}
+	if NewLedger(0).Rate != DefaultRate {
+		t.Fatal("ledger rate not defaulted")
+	}
+}
+
+func TestLedgerAccumulates(t *testing.T) {
+	l := NewLedger(0.25)
+	l.Add("A", t0, t0.Add(time.Hour), 10, 30)
+	l.Add("B", t0, t0.Add(time.Hour), 50, 50)
+	l.Add("A", t0.Add(time.Hour), t0.Add(2*time.Hour), 5, 25)
+	if got := l.TotalSavings(); got != 40 {
+		t.Fatalf("total savings = %v", got)
+	}
+	if got := l.TotalCharges(); got != 10 {
+		t.Fatalf("total charges = %v", got)
+	}
+	if len(l.Invoices()) != 3 {
+		t.Fatal("invoice count wrong")
+	}
+}
+
+// Property: charge is never negative and never exceeds rate × savings
+// bound; zero-savings periods are free.
+func TestPropertyChargeBounds(t *testing.T) {
+	f := func(actual, without float64) bool {
+		if math.IsNaN(actual) || math.IsNaN(without) ||
+			math.Abs(actual) > 1e12 || math.Abs(without) > 1e12 {
+			return true
+		}
+		inv := NewInvoice("W", t0, t0.Add(time.Hour), actual, without, 0.2)
+		if inv.Charge < 0 || inv.Savings < 0 {
+			return false
+		}
+		return inv.Charge <= 0.2*inv.Savings+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+// FuzzReadSnapshot exercises the snapshot parser on arbitrary bytes: it
+// must never panic, and accepted snapshots must round-trip.
+func FuzzReadSnapshot(f *testing.F) {
+	s := NewStore()
+	s.OnQuery(rec("W", t0, time.Second, 30*time.Second, 7, cdw.SizeSmall, true))
+	s.OnWarehouseEvent(cdw.WarehouseEvent{Time: t0, Warehouse: "W", Kind: cdw.EventResume, Clusters: 1})
+	var buf bytes.Buffer
+	s.WriteSnapshot(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte(`{"kind":"query"}`))
+	f.Add([]byte(`{"kind":"mystery","query":{}}`))
+	f.Add([]byte(`{"kind":"query","query":{"id":1,"wh":"W","submit":-1,"start":-2,"end":-3}}`))
+	f.Add([]byte("\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteSnapshot(&out); err != nil {
+			t.Fatalf("re-serialize accepted snapshot: %v", err)
+		}
+		again, err := ReadSnapshot(&out)
+		if err != nil {
+			t.Fatalf("re-parse own output: %v", err)
+		}
+		if len(again.Warehouses()) != len(got.Warehouses()) {
+			t.Fatal("round trip changed warehouse count")
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+func populated() *Store {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		s.OnQuery(rec("A", t0.Add(time.Duration(i)*time.Minute), time.Second,
+			30*time.Second, uint64(i%3), cdw.SizeMedium, i%4 == 0))
+	}
+	for i := 0; i < 5; i++ {
+		s.OnQuery(rec("B", t0.Add(time.Duration(i)*time.Hour), 0,
+			time.Minute, uint64(i), cdw.SizeXSmall, false))
+	}
+	s.OnWarehouseEvent(cdw.WarehouseEvent{Time: t0, Warehouse: "A",
+		Kind: cdw.EventResume, Clusters: 1})
+	s.OnWarehouseEvent(cdw.WarehouseEvent{Time: t0.Add(time.Hour), Warehouse: "A",
+		Kind: cdw.EventSuspend, Clusters: 0})
+	before := cdw.Config{Name: "A", Size: cdw.SizeMedium, MinClusters: 1,
+		MaxClusters: 2, AutoSuspend: 5 * time.Minute, AutoResume: true}
+	after := before
+	after.Size = cdw.SizeSmall
+	s.OnChange(cdw.ConfigChange{Time: t0.Add(30 * time.Minute), Warehouse: "A",
+		Before: before, After: after, Actor: "kwo", Statement: "ALTER ..."})
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	orig := populated()
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := got.Warehouses(); len(w) != 2 || w[0] != "A" || w[1] != "B" {
+		t.Fatalf("warehouses = %v", w)
+	}
+	la, lb := got.Log("A"), got.Log("B")
+	if len(la.Queries) != 20 || len(lb.Queries) != 5 {
+		t.Fatalf("queries = %d/%d", len(la.Queries), len(lb.Queries))
+	}
+	if len(la.Events) != 2 || len(la.Changes) != 1 {
+		t.Fatalf("events=%d changes=%d", len(la.Events), len(la.Changes))
+	}
+	// Field fidelity on a sample row.
+	q0 := la.Queries[0]
+	o0 := orig.Log("A").Queries[0]
+	if q0 != o0 {
+		t.Fatalf("query row corrupted:\n%+v\n%+v", o0, q0)
+	}
+	ch := la.Changes[0]
+	if ch.Before.Size != cdw.SizeMedium || ch.After.Size != cdw.SizeSmall ||
+		ch.Actor != "kwo" || ch.Before.AutoSuspend != 5*time.Minute {
+		t.Fatalf("change corrupted: %+v", ch)
+	}
+	// Derived statistics identical.
+	a := orig.Log("A").Stats(t0, t0.Add(time.Hour))
+	b := la.Stats(t0, t0.Add(time.Hour))
+	if a != b {
+		t.Fatalf("stats differ after round trip:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Warehouses()) != 0 {
+		t.Fatal("empty snapshot produced warehouses")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"kind":"alien"}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"kind":"query"}`)); err == nil {
+		t.Fatal("query line without payload accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"kind":"event"}`)); err == nil {
+		t.Fatal("event line without payload accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"kind":"change"}`)); err == nil {
+		t.Fatal("change line without payload accepted")
+	}
+}

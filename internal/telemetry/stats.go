@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+// WindowStats summarizes warehouse activity over a time window. These
+// are the KPIs the paper's dashboards show (spend, latency and queue
+// percentiles, cost per query) and the raw material for the smart
+// models' state features.
+type WindowStats struct {
+	From, To time.Time
+
+	Queries    int
+	QPH        float64 // queries per hour
+	ColdReads  int
+	Resumes    int
+	BytesTotal int64
+
+	AvgLatency time.Duration // queue + execution, as users experience it
+	P50Latency time.Duration
+	P95Latency time.Duration
+	P99Latency time.Duration
+
+	AvgQueue time.Duration
+	P99Queue time.Duration
+
+	AvgExec time.Duration
+
+	DistinctTemplates int
+	NewTemplates      int // templates not seen before the window
+
+	AvgClusters float64 // mean cluster count observed at query start
+	MaxClusters int
+	AvgSize     float64 // mean size index weighted by query count
+}
+
+// Stats computes WindowStats for queries ending in [from, to).
+func (l *WarehouseLog) Stats(from, to time.Time) WindowStats {
+	ws := WindowStats{From: from, To: to}
+	if l == nil {
+		return ws
+	}
+	recs := l.QueriesBetween(from, to)
+	ws.Queries = len(recs)
+	hours := to.Sub(from).Hours()
+	if hours > 0 {
+		ws.QPH = float64(len(recs)) / hours
+	}
+	if len(recs) == 0 {
+		return ws
+	}
+	seenBefore := make(map[uint64]bool)
+	for _, q := range l.Queries {
+		if q.EndTime.Before(from) {
+			seenBefore[q.TemplateHash] = true
+		}
+	}
+	var latencies, queues []time.Duration
+	var sumLat, sumQueue, sumExec time.Duration
+	distinct := make(map[uint64]bool)
+	var sumClusters, sumSize float64
+	for _, r := range recs {
+		lat := r.TotalDuration()
+		latencies = append(latencies, lat)
+		queues = append(queues, r.QueueDuration)
+		sumLat += lat
+		sumQueue += r.QueueDuration
+		sumExec += r.ExecDuration
+		ws.BytesTotal += r.BytesScanned
+		if r.ColdRead {
+			ws.ColdReads++
+		}
+		if r.Resumed {
+			ws.Resumes++
+		}
+		if !distinct[r.TemplateHash] {
+			distinct[r.TemplateHash] = true
+			if !seenBefore[r.TemplateHash] {
+				ws.NewTemplates++
+			}
+		}
+		sumClusters += float64(r.Clusters)
+		if r.Clusters > ws.MaxClusters {
+			ws.MaxClusters = r.Clusters
+		}
+		sumSize += float64(r.Size)
+	}
+	n := len(recs)
+	ws.DistinctTemplates = len(distinct)
+	ws.AvgLatency = sumLat / time.Duration(n)
+	ws.AvgQueue = sumQueue / time.Duration(n)
+	ws.AvgExec = sumExec / time.Duration(n)
+	ws.AvgClusters = sumClusters / float64(n)
+	ws.AvgSize = sumSize / float64(n)
+	ws.P50Latency = percentileDur(latencies, 0.50)
+	ws.P95Latency = percentileDur(latencies, 0.95)
+	ws.P99Latency = percentileDur(latencies, 0.99)
+	ws.P99Queue = percentileDur(queues, 0.99)
+	return ws
+}
+
+// Series computes consecutive WindowStats of width step over [from, to).
+func (l *WarehouseLog) Series(from, to time.Time, step time.Duration) []WindowStats {
+	var out []WindowStats
+	for t := from; t.Before(to); t = t.Add(step) {
+		end := t.Add(step)
+		if end.After(to) {
+			end = to
+		}
+		out = append(out, l.Stats(t, end))
+	}
+	return out
+}
+
+// percentileDur returns the p-quantile (0..1) using the nearest-rank
+// method on a copy of the input.
+func percentileDur(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Percentile exposes the nearest-rank quantile for float64 slices,
+// shared by dashboards and experiments.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// LatencyObs is one (size, latency) observation for a template, the
+// training rows for the cost model's latency-scaling regression (§5.2).
+type LatencyObs struct {
+	Size     cdw.Size
+	ExecSecs float64
+	Cold     bool
+	At       time.Time
+}
+
+// TemplateObservations groups execution observations by template hash
+// for queries ending in [from, to).
+func (l *WarehouseLog) TemplateObservations(from, to time.Time) map[uint64][]LatencyObs {
+	out := make(map[uint64][]LatencyObs)
+	if l == nil {
+		return out
+	}
+	for _, r := range l.QueriesBetween(from, to) {
+		out[r.TemplateHash] = append(out[r.TemplateHash], LatencyObs{
+			Size:     r.Size,
+			ExecSecs: r.ExecDuration.Seconds(),
+			Cold:     r.ColdRead,
+			At:       r.EndTime,
+		})
+	}
+	return out
+}
+
+// Gaps returns the idle gaps between consecutive query submissions in
+// [from, to), in seconds — the raw data for the cost model's query-gap
+// model (§5.2).
+func (l *WarehouseLog) Gaps(from, to time.Time) []float64 {
+	recs := l.SubmittedBetween(from, to)
+	if len(recs) < 2 {
+		return nil
+	}
+	gaps := make([]float64, 0, len(recs)-1)
+	for i := 1; i < len(recs); i++ {
+		gaps = append(gaps, recs[i].SubmitTime.Sub(recs[i-1].SubmitTime).Seconds())
+	}
+	return gaps
+}

@@ -1,0 +1,216 @@
+// Package telemetry collects and serves the performance metadata KWO
+// trains on: query history (arrival/queue/completion times, bytes
+// scanned, sizes, cluster counts) and warehouse lifecycle events. Per
+// the paper's security criterion C6 it never holds query text or user
+// names — only their hashes, which the simulator produces from the
+// start.
+//
+// The Store implements cdw.Listener, so subscribing it to an account
+// mirrors pulling Snowflake's QUERY_HISTORY and metering views.
+package telemetry
+
+import (
+	"sort"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+// Store accumulates telemetry for every warehouse of an account.
+type Store struct {
+	byWarehouse map[string]*WarehouseLog
+	names       []string
+}
+
+// WarehouseLog is the telemetry of a single warehouse. Query records
+// are kept sorted by EndTime (they arrive in completion order from the
+// simulator).
+type WarehouseLog struct {
+	Name    string
+	Queries []cdw.QueryRecord
+	Events  []cdw.WarehouseEvent
+	Changes []cdw.ConfigChange
+	// Billing holds ingested billing-history rows (one per clock hour).
+	Billing []cdw.HourlyRecord
+
+	billingIdx map[int64]int // hour unix → index into Billing
+}
+
+// NewStore returns an empty telemetry store.
+func NewStore() *Store {
+	return &Store{byWarehouse: make(map[string]*WarehouseLog)}
+}
+
+func (s *Store) log(name string) *WarehouseLog {
+	l, ok := s.byWarehouse[name]
+	if !ok {
+		l = &WarehouseLog{Name: name}
+		s.byWarehouse[name] = l
+		s.names = append(s.names, name)
+	}
+	return l
+}
+
+// OnQuery implements cdw.Listener.
+func (s *Store) OnQuery(r cdw.QueryRecord) {
+	l := s.log(r.Warehouse)
+	l.Queries = append(l.Queries, r)
+	// Completion events arrive in EndTime order from the simulator, but
+	// guard against equal-time reordering from multiple clusters.
+	n := len(l.Queries)
+	if n > 1 && l.Queries[n-1].EndTime.Before(l.Queries[n-2].EndTime) {
+		sort.SliceStable(l.Queries, func(i, j int) bool {
+			return l.Queries[i].EndTime.Before(l.Queries[j].EndTime)
+		})
+	}
+}
+
+// OnChange implements cdw.Listener.
+func (s *Store) OnChange(c cdw.ConfigChange) {
+	s.log(c.Warehouse).Changes = append(s.log(c.Warehouse).Changes, c)
+}
+
+// OnWarehouseEvent implements cdw.Listener.
+func (s *Store) OnWarehouseEvent(e cdw.WarehouseEvent) {
+	s.log(e.Warehouse).Events = append(s.log(e.Warehouse).Events, e)
+}
+
+// Warehouses lists warehouses with telemetry, in first-seen order.
+func (s *Store) Warehouses() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Log returns the telemetry of one warehouse (nil if none).
+func (s *Store) Log(name string) *WarehouseLog { return s.byWarehouse[name] }
+
+// QueriesBetween returns query records with EndTime in [from, to).
+func (l *WarehouseLog) QueriesBetween(from, to time.Time) []cdw.QueryRecord {
+	if l == nil {
+		return nil
+	}
+	lo := sort.Search(len(l.Queries), func(i int) bool {
+		return !l.Queries[i].EndTime.Before(from)
+	})
+	hi := sort.Search(len(l.Queries), func(i int) bool {
+		return !l.Queries[i].EndTime.Before(to)
+	})
+	out := make([]cdw.QueryRecord, hi-lo)
+	copy(out, l.Queries[lo:hi])
+	return out
+}
+
+// SubmittedBetween returns query records with SubmitTime in [from, to),
+// sorted by SubmitTime. Used by the cost model's replay, which walks
+// arrivals, not completions.
+func (l *WarehouseLog) SubmittedBetween(from, to time.Time) []cdw.QueryRecord {
+	if l == nil {
+		return nil
+	}
+	var out []cdw.QueryRecord
+	for _, q := range l.Queries {
+		if !q.SubmitTime.Before(from) && q.SubmitTime.Before(to) {
+			out = append(out, q)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].SubmitTime.Before(out[j].SubmitTime)
+	})
+	return out
+}
+
+// ChangesBetween returns config changes in [from, to).
+func (l *WarehouseLog) ChangesBetween(from, to time.Time) []cdw.ConfigChange {
+	if l == nil {
+		return nil
+	}
+	var out []cdw.ConfigChange
+	for _, c := range l.Changes {
+		if !c.Time.Before(from) && c.Time.Before(to) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ConfigAt reconstructs the warehouse configuration in effect at t from
+// the change log, given the earliest known configuration.
+func (l *WarehouseLog) ConfigAt(t time.Time, initial cdw.Config) cdw.Config {
+	cfg := initial
+	if l == nil {
+		return cfg
+	}
+	for _, c := range l.Changes {
+		if c.Time.After(t) {
+			break
+		}
+		cfg = c.After
+	}
+	return cfg
+}
+
+// LastQueryBefore returns the most recent query that ended before t,
+// or false if none exists.
+func (l *WarehouseLog) LastQueryBefore(t time.Time) (cdw.QueryRecord, bool) {
+	if l == nil {
+		return cdw.QueryRecord{}, false
+	}
+	i := sort.Search(len(l.Queries), func(i int) bool {
+		return !l.Queries[i].EndTime.Before(t)
+	})
+	if i == 0 {
+		return cdw.QueryRecord{}, false
+	}
+	return l.Queries[i-1], true
+}
+
+// AddBilling ingests billing-history rows (§6.1: "The metadata used in
+// training comes from two sources: query history and billing history").
+// Rows are keyed by hour; re-ingesting an hour replaces it, so periodic
+// pulls can safely overlap.
+func (s *Store) AddBilling(warehouse string, rows []cdw.HourlyRecord) {
+	l := s.log(warehouse)
+	if l.billingIdx == nil {
+		l.billingIdx = make(map[int64]int)
+	}
+	for _, r := range rows {
+		key := r.HourStart.Unix()
+		if i, ok := l.billingIdx[key]; ok {
+			l.Billing[i] = r
+			continue
+		}
+		l.billingIdx[key] = len(l.Billing)
+		l.Billing = append(l.Billing, r)
+	}
+}
+
+// BillingBetween sums ingested billing credits for hours starting in
+// [from, to).
+func (l *WarehouseLog) BillingBetween(from, to time.Time) float64 {
+	if l == nil {
+		return 0
+	}
+	var total float64
+	for _, r := range l.Billing {
+		if !r.HourStart.Before(from) && r.HourStart.Before(to) {
+			total += r.Credits
+		}
+	}
+	return total
+}
+
+// LastBilledHour returns the most recent ingested hour start (zero time
+// when no billing has been ingested).
+func (l *WarehouseLog) LastBilledHour() time.Time {
+	if l == nil {
+		return time.Time{}
+	}
+	var last time.Time
+	for _, r := range l.Billing {
+		if r.HourStart.After(last) {
+			last = r.HourStart
+		}
+	}
+	return last
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/simclock"
+)
+
+// Drive schedules every arrival onto the account's scheduler, submitting
+// to the named warehouse. Arrivals before the scheduler's current time
+// are dropped (with a count returned) rather than panicking, so traces
+// can be replayed from any point.
+func Drive(sched *simclock.Scheduler, acct *cdw.Account, warehouse string, arrivals []Arrival) (scheduled, dropped int) {
+	now := sched.Now()
+	for _, a := range arrivals {
+		if a.At.Before(now) {
+			dropped++
+			continue
+		}
+		q := a.Query
+		sched.Schedule(a.At, "workload:"+warehouse, func() {
+			// A rejected query (suspended + no auto-resume) is simply
+			// lost, as it would be on the real warehouse.
+			_ = acct.Submit(warehouse, q)
+		})
+		scheduled++
+	}
+	return scheduled, dropped
+}
+
+// StandardPools returns the template pools used across examples,
+// experiments and benchmarks: BI dashboards (small, cache-hungry),
+// ETL jobs (large scans, cache-indifferent), and ad-hoc exploration
+// (heavy-tailed).
+func StandardPools() (bi, etl, adhoc *Pool) {
+	biTemplates := make([]Template, 0, 12)
+	for i := 0; i < 12; i++ {
+		biTemplates = append(biTemplates, Template{
+			Name:       fmt.Sprintf("dashboard-%d", i),
+			WorkMean:   2 + float64(i%4)*2, // 2–8s on XS warm
+			WorkSigma:  0.3,
+			ScaleExp:   0.8,
+			ColdFactor: 2.5, // dashboards rescan the same partitions
+			BytesMean:  256 << 20,
+		})
+	}
+	etlTemplates := make([]Template, 0, 8)
+	for i := 0; i < 8; i++ {
+		etlTemplates = append(etlTemplates, Template{
+			Name:       fmt.Sprintf("pipeline-%d", i),
+			WorkMean:   60 + float64(i)*30, // 1–5 min on XS warm
+			WorkSigma:  0.15,
+			ScaleExp:   1.0, // scan-heavy, parallelizes well
+			ColdFactor: 0.3,
+			BytesMean:  8 << 30,
+		})
+	}
+	adhocTemplates := make([]Template, 0, 40)
+	for i := 0; i < 40; i++ {
+		adhocTemplates = append(adhocTemplates, Template{
+			Name:       fmt.Sprintf("explore-%d", i),
+			WorkMean:   5 + float64(i%10)*8, // 5–77s
+			WorkSigma:  0.8,                 // heavy-tailed
+			ScaleExp:   0.9,
+			ColdFactor: 1.0,
+			BytesMean:  1 << 30,
+		})
+	}
+	return NewPool(biTemplates, 1.1), NewPool(etlTemplates, 0), NewPool(adhocTemplates, 0.7)
+}
+
+// ---------------------------------------------------------------------
+// Trace serialization: record a generated workload and replay it later.
+
+// traceArrival is the JSON wire form of an Arrival.
+type traceArrival struct {
+	AtUnixMS     int64   `json:"at"`
+	TextHash     uint64  `json:"text"`
+	TemplateHash uint64  `json:"tmpl"`
+	UserHash     uint64  `json:"user"`
+	Work         float64 `json:"work"`
+	ScaleExp     float64 `json:"exp"`
+	ColdFactor   float64 `json:"cold"`
+	Bytes        int64   `json:"bytes"`
+}
+
+// WriteTrace serializes arrivals as JSON lines.
+func WriteTrace(w io.Writer, arrivals []Arrival) error {
+	enc := json.NewEncoder(w)
+	for _, a := range arrivals {
+		ta := traceArrival{
+			AtUnixMS:     a.At.UnixMilli(),
+			TextHash:     a.Query.TextHash,
+			TemplateHash: a.Query.TemplateHash,
+			UserHash:     a.Query.UserHash,
+			Work:         a.Query.Work,
+			ScaleExp:     a.Query.ScaleExp,
+			ColdFactor:   a.Query.ColdFactor,
+			Bytes:        a.Query.BytesScanned,
+		}
+		if err := enc.Encode(ta); err != nil {
+			return fmt.Errorf("workload: write trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a JSON-lines trace.
+func ReadTrace(r io.Reader) ([]Arrival, error) {
+	dec := json.NewDecoder(r)
+	var out []Arrival
+	for dec.More() {
+		var ta traceArrival
+		if err := dec.Decode(&ta); err != nil {
+			return nil, fmt.Errorf("workload: read trace: %w", err)
+		}
+		out = append(out, Arrival{
+			At: time.UnixMilli(ta.AtUnixMS).UTC(),
+			Query: cdw.Query{
+				TextHash:     ta.TextHash,
+				TemplateHash: ta.TemplateHash,
+				UserHash:     ta.UserHash,
+				Work:         ta.Work,
+				ScaleExp:     ta.ScaleExp,
+				ColdFactor:   ta.ColdFactor,
+				BytesScanned: ta.Bytes,
+			},
+		})
+	}
+	sortArrivals(out)
+	return out, nil
+}

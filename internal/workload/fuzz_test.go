@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// FuzzReadTrace exercises the trace parser on arbitrary bytes: it must
+// never panic, and any trace it accepts must round-trip cleanly.
+func FuzzReadTrace(f *testing.F) {
+	// Seed corpus: a real trace, an empty input, truncated JSON, and
+	// junk.
+	pool, _, _ := StandardPools()
+	gen := BI{Pool: pool, PeakQPH: 30}
+	arr := gen.Generate(start, start.Add(2*time.Hour), rand.New(rand.NewSource(1)))
+	var buf bytes.Buffer
+	WriteTrace(&buf, arr)
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte(`{"at":123,"work":1`))
+	f.Add([]byte(`{"at":"not a number"}`))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Add([]byte(`{"at":1672617600000,"text":1,"tmpl":2,"user":3,"work":5,"exp":0.9,"cold":1,"bytes":100}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// Accepted traces must re-serialize and re-parse to the same
+		// length.
+		var out bytes.Buffer
+		if err := WriteTrace(&out, got); err != nil {
+			t.Fatalf("re-serialize accepted trace: %v", err)
+		}
+		again, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("re-parse own output: %v", err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("round trip changed length %d → %d", len(got), len(again))
+		}
+	})
+}

@@ -1,0 +1,365 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+// Arrival is one query arriving at a warehouse at a point in time.
+type Arrival struct {
+	At    time.Time
+	Query cdw.Query
+}
+
+// Generator produces a deterministic arrival stream for a time range.
+type Generator interface {
+	// Generate returns arrivals in [from, to), sorted by time.
+	Generate(from, to time.Time, rng *rand.Rand) []Arrival
+	// Name identifies the generator in experiment output.
+	Name() string
+}
+
+// sortArrivals sorts in place by time, breaking ties by text hash so the
+// order is deterministic.
+func sortArrivals(a []Arrival) {
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].At.Equal(a[j].At) {
+			return a[i].Query.TextHash < a[j].Query.TextHash
+		}
+		return a[i].At.Before(a[j].At)
+	})
+}
+
+// ---------------------------------------------------------------------
+// ETL: scheduled, highly recurring batches.
+
+// ETL models a warehouse serving scheduled pipeline jobs: every Period a
+// batch of jobs runs, drawn from a fixed set of recurring templates with
+// small jitter. This is the paper's "relatively static workloads over
+// time (for performing ETL tasks)" shape (Figures 4b, 6).
+type ETL struct {
+	Pool *Pool
+	// Period between batch runs (e.g. time.Hour).
+	Period time.Duration
+	// Offset into each period when the batch starts (e.g. 5 minutes).
+	Offset time.Duration
+	// JobsPerBatch is how many queries each batch runs.
+	JobsPerBatch int
+	// Jitter randomizes each job's start within the batch window.
+	Jitter time.Duration
+	// Users is the set of synthetic service users submitting jobs.
+	Users []string
+}
+
+// Name implements Generator.
+func (e ETL) Name() string { return "etl" }
+
+// Generate implements Generator.
+func (e ETL) Generate(from, to time.Time, rng *rand.Rand) []Arrival {
+	var out []Arrival
+	seq := uint64(0)
+	period := e.Period
+	if period <= 0 {
+		period = time.Hour
+	}
+	users := e.Users
+	if len(users) == 0 {
+		users = []string{"etl-service"}
+	}
+	// Align the first batch to the period grid.
+	start := from.Truncate(period)
+	for batch := start; batch.Before(to); batch = batch.Add(period) {
+		at := batch.Add(e.Offset)
+		if at.Before(from) || !at.Before(to) {
+			continue
+		}
+		for j := 0; j < e.JobsPerBatch; j++ {
+			tpl := e.Pool.Templates[j%e.Pool.Len()] // fixed rotation: recurring jobs
+			seq++
+			q := tpl.Instantiate(rng, seq, UserHash(users[j%len(users)]))
+			jitter := time.Duration(0)
+			if e.Jitter > 0 {
+				jitter = time.Duration(rng.Int63n(int64(e.Jitter)))
+			}
+			out = append(out, Arrival{At: at.Add(jitter), Query: q})
+		}
+	}
+	sortArrivals(out)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// BI: business-hours, cache-sensitive dashboard traffic.
+
+// BI models dashboard and analyst traffic: Poisson arrivals whose rate
+// follows a business-hours curve (weekdays, peaking late morning and
+// mid-afternoon), drawing heavily reused cache-sensitive templates.
+type BI struct {
+	Pool *Pool
+	// PeakQPH is the arrival rate, queries per hour, at the busiest
+	// point of the day.
+	PeakQPH float64
+	// WeekendFactor scales weekend traffic (0 disables weekends).
+	WeekendFactor float64
+	// Users is the analyst population.
+	Users []string
+}
+
+// Name implements Generator.
+func (b BI) Name() string { return "bi" }
+
+// rate returns the expected queries/hour at t.
+func (b BI) rate(t time.Time) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60
+	day := t.Weekday()
+	weekday := day != time.Saturday && day != time.Sunday
+	// Two-bump business-hours curve between 8:00 and 19:00.
+	var shape float64
+	if h >= 8 && h <= 19 {
+		shape = math.Exp(-sq(h-10.5)/4.5) + 0.8*math.Exp(-sq(h-15.0)/5.0)
+	}
+	r := b.PeakQPH * shape
+	if !weekday {
+		r *= b.WeekendFactor
+	}
+	return r
+}
+
+func sq(x float64) float64 { return x * x }
+
+// Generate implements Generator: a non-homogeneous Poisson process via
+// thinning against the peak rate.
+func (b BI) Generate(from, to time.Time, rng *rand.Rand) []Arrival {
+	var out []Arrival
+	maxRate := b.PeakQPH * 1.8 // upper bound of the two-bump curve
+	if maxRate <= 0 {
+		return nil
+	}
+	users := b.Users
+	if len(users) == 0 {
+		users = []string{"analyst-1", "analyst-2", "analyst-3"}
+	}
+	seq := uint64(0)
+	t := from
+	for {
+		// Exponential gap at the bounding rate.
+		gapHours := rng.ExpFloat64() / maxRate
+		t = t.Add(time.Duration(gapHours * float64(time.Hour)))
+		if !t.Before(to) {
+			break
+		}
+		if rng.Float64()*maxRate > b.rate(t) {
+			continue // thinned
+		}
+		tpl := b.Pool.Draw(rng)
+		seq++
+		q := tpl.Instantiate(rng, seq, UserHash(users[rng.Intn(len(users))]))
+		out = append(out, Arrival{At: t, Query: q})
+	}
+	sortArrivals(out)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// AdHoc: unpredictable exploratory analytics.
+
+// AdHoc models exploratory analyst traffic: a baseline Poisson rate
+// modulated by a random per-day activity multiplier (some days are
+// near-silent, some are heavy), random bursts, heavier-tailed work, and
+// an optional month-end surge. This is the "less predictable workloads"
+// shape of Figure 4a.
+type AdHoc struct {
+	Pool *Pool
+	// BaseQPH is the average arrival rate during active periods.
+	BaseQPH float64
+	// DayVariance controls the per-day lognormal activity multiplier;
+	// 0 disables it, ~0.8 gives the strong day-to-day swings of
+	// Figure 4a.
+	DayVariance float64
+	// BurstsPerDay is the expected number of short load bursts each day.
+	BurstsPerDay float64
+	// BurstQPH is the arrival rate inside a burst.
+	BurstQPH float64
+	// BurstLen is the mean burst duration.
+	BurstLen time.Duration
+	// MonthEndFactor multiplies the rate during the last two days of
+	// the month (reporting crunch). 1 disables.
+	MonthEndFactor float64
+	// Users is the analyst population.
+	Users []string
+}
+
+// Name implements Generator.
+func (a AdHoc) Name() string { return "adhoc" }
+
+type burst struct {
+	start time.Time
+	end   time.Time
+}
+
+// Generate implements Generator.
+func (a AdHoc) Generate(from, to time.Time, rng *rand.Rand) []Arrival {
+	users := a.Users
+	if len(users) == 0 {
+		users = []string{"scientist-1", "scientist-2"}
+	}
+	// Pre-draw per-day multipliers and burst windows so the rate
+	// function is well-defined for thinning.
+	days := int(to.Sub(from).Hours()/24) + 2
+	dayMult := make([]float64, days)
+	var bursts []burst
+	for d := 0; d < days; d++ {
+		dayMult[d] = 1.0
+		if a.DayVariance > 0 {
+			dayMult[d] = lognormal(rng, 1.0, a.DayVariance)
+		}
+		dayStart := from.Add(time.Duration(d) * 24 * time.Hour)
+		nBursts := poisson(rng, a.BurstsPerDay)
+		for i := 0; i < nBursts; i++ {
+			bs := dayStart.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
+			blen := a.BurstLen
+			if blen <= 0 {
+				blen = 15 * time.Minute
+			}
+			blen = time.Duration(float64(blen) * (0.5 + rng.Float64()))
+			bursts = append(bursts, burst{start: bs, end: bs.Add(blen)})
+		}
+	}
+	rate := func(t time.Time) float64 {
+		d := int(t.Sub(from).Hours() / 24)
+		if d < 0 || d >= days {
+			return 0
+		}
+		r := a.BaseQPH * dayMult[d]
+		// Mild diurnal shape: active 7:00–23:00.
+		h := t.Hour()
+		if h < 7 {
+			r *= 0.1
+		}
+		for _, b := range bursts {
+			if !t.Before(b.start) && t.Before(b.end) {
+				r += a.BurstQPH
+			}
+		}
+		if a.MonthEndFactor > 1 {
+			y, m, _ := t.Date()
+			lastDay := time.Date(y, m+1, 1, 0, 0, 0, 0, t.Location()).Add(-24 * time.Hour).Day()
+			if t.Day() >= lastDay-1 {
+				r *= a.MonthEndFactor
+			}
+		}
+		return r
+	}
+	maxRate := a.BaseQPH*8 + a.BurstQPH*3 // generous bound for thinning
+	if a.MonthEndFactor > 1 {
+		maxRate *= a.MonthEndFactor
+	}
+	var out []Arrival
+	seq := uint64(0)
+	t := from
+	for {
+		gapHours := rng.ExpFloat64() / maxRate
+		t = t.Add(time.Duration(gapHours * float64(time.Hour)))
+		if !t.Before(to) {
+			break
+		}
+		r := rate(t)
+		if r > maxRate {
+			r = maxRate
+		}
+		if rng.Float64()*maxRate > r {
+			continue
+		}
+		tpl := a.Pool.Draw(rng)
+		seq++
+		q := tpl.Instantiate(rng, seq, UserHash(users[rng.Intn(len(users))]))
+		out = append(out, Arrival{At: t, Query: q})
+	}
+	sortArrivals(out)
+	return out
+}
+
+// poisson draws a Poisson variate with the given mean (Knuth's method;
+// means here are small).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// ---------------------------------------------------------------------
+// Mixed: overlay of several generators.
+
+// Mixed merges the arrival streams of several generators, modelling a
+// warehouse shared by multiple applications.
+type Mixed struct {
+	Parts []Generator
+	Label string
+}
+
+// Name implements Generator.
+func (m Mixed) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return "mixed"
+}
+
+// Generate implements Generator.
+func (m Mixed) Generate(from, to time.Time, rng *rand.Rand) []Arrival {
+	var out []Arrival
+	for i, g := range m.Parts {
+		// Derive an independent stream per part for stability under
+		// reordering of parts.
+		sub := rand.New(rand.NewSource(rng.Int63() + int64(i)))
+		out = append(out, g.Generate(from, to, sub)...)
+	}
+	sortArrivals(out)
+	return out
+}
+
+// Spike injects a dense pulse of queries at a fixed time — used for
+// failure-injection tests of the monitor's backoff behaviour.
+type Spike struct {
+	Pool  *Pool
+	At    time.Time
+	Count int
+	Over  time.Duration
+}
+
+// Name implements Generator.
+func (s Spike) Name() string { return "spike" }
+
+// Generate implements Generator.
+func (s Spike) Generate(from, to time.Time, rng *rand.Rand) []Arrival {
+	if s.At.Before(from) || !s.At.Before(to) || s.Count <= 0 {
+		return nil
+	}
+	over := s.Over
+	if over <= 0 {
+		over = time.Minute
+	}
+	var out []Arrival
+	for i := 0; i < s.Count; i++ {
+		tpl := s.Pool.Draw(rng)
+		q := tpl.Instantiate(rng, uint64(i), UserHash("spike-user"))
+		at := s.At.Add(time.Duration(rng.Int63n(int64(over))))
+		out = append(out, Arrival{At: at, Query: q})
+	}
+	sortArrivals(out)
+	return out
+}

@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/simclock"
+)
+
+var start = simclock.Epoch // Monday 00:00 UTC
+
+func testPool() *Pool {
+	return NewPool([]Template{
+		{Name: "a", WorkMean: 5, WorkSigma: 0.2, ScaleExp: 0.9, ColdFactor: 1, BytesMean: 1 << 20},
+		{Name: "b", WorkMean: 10, WorkSigma: 0.2, ScaleExp: 1.0, ColdFactor: 2, BytesMean: 1 << 22},
+		{Name: "c", WorkMean: 20, WorkSigma: 0.2, ScaleExp: 0.7, ColdFactor: 0.5, BytesMean: 1 << 24},
+	}, 1.0)
+}
+
+func TestTemplateHashStable(t *testing.T) {
+	a := Template{Name: "x"}
+	b := Template{Name: "x", WorkMean: 99}
+	if a.Hash() != b.Hash() {
+		t.Fatal("hash should depend on name only")
+	}
+	if a.Hash() == (Template{Name: "y"}).Hash() {
+		t.Fatal("different names collided")
+	}
+}
+
+func TestInstantiateCarriesProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tpl := testPool().Templates[1]
+	q := tpl.Instantiate(rng, 7, UserHash("u"))
+	if q.TemplateHash != tpl.Hash() {
+		t.Fatal("template hash not carried")
+	}
+	if q.ScaleExp != tpl.ScaleExp || q.ColdFactor != tpl.ColdFactor {
+		t.Fatal("scaling profile not carried")
+	}
+	if q.Work <= 0 {
+		t.Fatal("non-positive work")
+	}
+	q2 := tpl.Instantiate(rng, 8, UserHash("u"))
+	if q.TextHash == q2.TextHash {
+		t.Fatal("distinct executions share a text hash")
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += lognormal(rng, 10, 0.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.5 {
+		t.Fatalf("lognormal mean = %v, want ~10", mean)
+	}
+}
+
+func TestPoolSkewedDraws(t *testing.T) {
+	p := testPool()
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[p.Draw(rng).Name]++
+	}
+	if !(counts["a"] > counts["b"] && counts["b"] > counts["c"]) {
+		t.Fatalf("skew=1 draw counts not decreasing: %v", counts)
+	}
+}
+
+func TestPoolUniform(t *testing.T) {
+	p := NewPool(testPool().Templates, 0)
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	for i := 0; i < 9000; i++ {
+		counts[p.Draw(rng).Name]++
+	}
+	for name, c := range counts {
+		if c < 2600 || c > 3400 {
+			t.Fatalf("uniform draw of %s = %d, want ~3000", name, c)
+		}
+	}
+}
+
+func TestETLRecurrence(t *testing.T) {
+	_, etlPool, _ := StandardPools()
+	g := ETL{Pool: etlPool, Period: time.Hour, Offset: 5 * time.Minute, JobsPerBatch: 4}
+	rng := rand.New(rand.NewSource(1))
+	arr := g.Generate(start, start.Add(24*time.Hour), rng)
+	if len(arr) != 24*4 {
+		t.Fatalf("arrivals = %d, want %d", len(arr), 24*4)
+	}
+	// Every batch reuses the same first-4 templates: few distinct hashes.
+	distinct := map[uint64]bool{}
+	for _, a := range arr {
+		distinct[a.Query.TemplateHash] = true
+	}
+	if len(distinct) != 4 {
+		t.Fatalf("distinct templates = %d, want 4 (recurring)", len(distinct))
+	}
+	for _, a := range arr {
+		if a.At.Before(start) || !a.At.Before(start.Add(24*time.Hour)) {
+			t.Fatal("arrival outside range")
+		}
+	}
+}
+
+func TestBIBusinessHours(t *testing.T) {
+	biPool, _, _ := StandardPools()
+	g := BI{Pool: biPool, PeakQPH: 120, WeekendFactor: 0.1}
+	rng := rand.New(rand.NewSource(2))
+	arr := g.Generate(start, start.Add(24*time.Hour), rng) // Monday
+	if len(arr) < 100 {
+		t.Fatalf("weekday BI arrivals = %d, want substantial traffic", len(arr))
+	}
+	night, day := 0, 0
+	for _, a := range arr {
+		h := a.At.Hour()
+		if h < 7 || h > 20 {
+			night++
+		} else {
+			day++
+		}
+	}
+	if night > day/10 {
+		t.Fatalf("night=%d day=%d: BI traffic not concentrated in business hours", night, day)
+	}
+	// Saturday traffic should be a small fraction of Monday's.
+	sat := g.Generate(start.Add(5*24*time.Hour), start.Add(6*24*time.Hour), rand.New(rand.NewSource(2)))
+	if len(sat) > len(arr)/4 {
+		t.Fatalf("weekend arrivals %d vs weekday %d: weekend factor not applied", len(sat), len(arr))
+	}
+}
+
+func TestAdHocDayVariance(t *testing.T) {
+	_, _, pool := StandardPools()
+	g := AdHoc{Pool: pool, BaseQPH: 30, DayVariance: 0.9, BurstsPerDay: 1, BurstQPH: 200, BurstLen: 10 * time.Minute}
+	rng := rand.New(rand.NewSource(3))
+	arr := g.Generate(start, start.Add(14*24*time.Hour), rng)
+	if len(arr) == 0 {
+		t.Fatal("no arrivals")
+	}
+	perDay := make([]float64, 14)
+	for _, a := range arr {
+		d := int(a.At.Sub(start).Hours() / 24)
+		if d >= 0 && d < 14 {
+			perDay[d]++
+		}
+	}
+	// Coefficient of variation across days should be substantial.
+	var sum, sumSq float64
+	for _, c := range perDay {
+		sum += c
+		sumSq += c * c
+	}
+	mean := sum / 14
+	cv := math.Sqrt(sumSq/14-mean*mean) / mean
+	if cv < 0.25 {
+		t.Fatalf("day-to-day CV = %v, want > 0.25 for unpredictable workload", cv)
+	}
+}
+
+func TestMonthEndSurge(t *testing.T) {
+	_, _, pool := StandardPools()
+	// January 2023: month ends Tuesday the 31st.
+	from := time.Date(2023, 1, 25, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2023, 2, 1, 0, 0, 0, 0, time.UTC)
+	g := AdHoc{Pool: pool, BaseQPH: 30, MonthEndFactor: 4}
+	arr := g.Generate(from, to, rand.New(rand.NewSource(4)))
+	early, late := 0, 0
+	for _, a := range arr {
+		if a.At.Day() >= 30 {
+			late++
+		} else {
+			early++
+		}
+	}
+	// 2 surge days vs 5 normal days: with 4x factor, expect late > early/2.
+	if late <= early/2 {
+		t.Fatalf("month-end: late=%d early=%d, surge missing", late, early)
+	}
+}
+
+func TestMixedMergesSorted(t *testing.T) {
+	biPool, etlPool, _ := StandardPools()
+	g := Mixed{Parts: []Generator{
+		ETL{Pool: etlPool, Period: time.Hour, JobsPerBatch: 2},
+		BI{Pool: biPool, PeakQPH: 50},
+	}}
+	arr := g.Generate(start, start.Add(12*time.Hour), rand.New(rand.NewSource(5)))
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At.Before(arr[i-1].At) {
+			t.Fatal("mixed arrivals not sorted")
+		}
+	}
+	if g.Name() != "mixed" {
+		t.Fatal("default name wrong")
+	}
+}
+
+func TestSpike(t *testing.T) {
+	pool, _, _ := StandardPools()
+	at := start.Add(time.Hour)
+	g := Spike{Pool: pool, At: at, Count: 50, Over: time.Minute}
+	arr := g.Generate(start, start.Add(2*time.Hour), rand.New(rand.NewSource(6)))
+	if len(arr) != 50 {
+		t.Fatalf("spike arrivals = %d, want 50", len(arr))
+	}
+	for _, a := range arr {
+		if a.At.Before(at) || a.At.After(at.Add(time.Minute)) {
+			t.Fatal("spike arrival outside window")
+		}
+	}
+	// Spike outside range generates nothing.
+	if got := g.Generate(start.Add(3*time.Hour), start.Add(4*time.Hour), rand.New(rand.NewSource(6))); len(got) != 0 {
+		t.Fatal("out-of-range spike generated arrivals")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	biPool, _, _ := StandardPools()
+	g := BI{Pool: biPool, PeakQPH: 80}
+	a1 := g.Generate(start, start.Add(24*time.Hour), rand.New(rand.NewSource(9)))
+	a2 := g.Generate(start, start.Add(24*time.Hour), rand.New(rand.NewSource(9)))
+	if len(a1) != len(a2) {
+		t.Fatalf("lengths differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if !a1[i].At.Equal(a2[i].At) || a1[i].Query.TextHash != a2[i].Query.TextHash {
+			t.Fatal("same seed produced different stream")
+		}
+	}
+}
+
+func TestDrive(t *testing.T) {
+	sched := simclock.NewScheduler(1)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	_, err := acct.CreateWarehouse(cdw.Config{
+		Name: "W", Size: cdw.SizeSmall, MinClusters: 1, MaxClusters: 2,
+		AutoSuspend: 5 * time.Minute, AutoResume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biPool, _, _ := StandardPools()
+	g := BI{Pool: biPool, PeakQPH: 60}
+	arr := g.Generate(start, start.Add(6*time.Hour), rand.New(rand.NewSource(10)))
+	scheduled, dropped := Drive(sched, acct, "W", arr)
+	if dropped != 0 || scheduled != len(arr) {
+		t.Fatalf("scheduled=%d dropped=%d of %d", scheduled, dropped, len(arr))
+	}
+	sched.RunFor(8 * time.Hour)
+	wh, _ := acct.Warehouse("W")
+	_, _, _, completed := wh.Stats()
+	if completed != len(arr) {
+		t.Fatalf("completed %d of %d queries", completed, len(arr))
+	}
+	if acct.TotalCredits() <= 0 {
+		t.Fatal("no credits billed")
+	}
+}
+
+func TestDriveDropsPastArrivals(t *testing.T) {
+	sched := simclock.NewScheduler(1)
+	sched.RunFor(2 * time.Hour)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	acct.CreateWarehouse(cdw.Config{Name: "W", Size: cdw.SizeXSmall, MinClusters: 1,
+		MaxClusters: 1, AutoResume: true})
+	arr := []Arrival{
+		{At: start.Add(time.Hour), Query: cdw.Query{Work: 1, ScaleExp: 1}},
+		{At: start.Add(3 * time.Hour), Query: cdw.Query{Work: 1, ScaleExp: 1}},
+	}
+	scheduled, dropped := Drive(sched, acct, "W", arr)
+	if scheduled != 1 || dropped != 1 {
+		t.Fatalf("scheduled=%d dropped=%d, want 1/1", scheduled, dropped)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	biPool, _, _ := StandardPools()
+	g := BI{Pool: biPool, PeakQPH: 40}
+	arr := g.Generate(start, start.Add(4*time.Hour), rand.New(rand.NewSource(11)))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, arr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(arr) {
+		t.Fatalf("round trip %d of %d arrivals", len(got), len(arr))
+	}
+	for i := range got {
+		if got[i].Query.TextHash != arr[i].Query.TextHash ||
+			!got[i].At.Equal(arr[i].At.Truncate(time.Millisecond)) {
+			t.Fatalf("arrival %d corrupted in round trip", i)
+		}
+	}
+}
+
+// Property: arrivals from any generator are sorted and in range.
+func TestPropertyArrivalsSortedInRange(t *testing.T) {
+	biPool, etlPool, adhocPool := StandardPools()
+	f := func(seed int64, hours uint8) bool {
+		h := int(hours%72) + 1
+		to := start.Add(time.Duration(h) * time.Hour)
+		gens := []Generator{
+			BI{Pool: biPool, PeakQPH: 50},
+			ETL{Pool: etlPool, Period: time.Hour, JobsPerBatch: 3},
+			AdHoc{Pool: adhocPool, BaseQPH: 20, DayVariance: 0.5},
+		}
+		for _, g := range gens {
+			arr := g.Generate(start, to, rand.New(rand.NewSource(seed)))
+			for i, a := range arr {
+				if a.At.Before(start) || !a.At.Before(to) {
+					return false
+				}
+				if i > 0 && a.At.Before(arr[i-1].At) {
+					return false
+				}
+				if a.Query.Work <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var sum int
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 3.0)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3.0) > 0.15 {
+		t.Fatalf("poisson mean = %v, want ~3", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) != 0")
+	}
+}

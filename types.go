@@ -1,0 +1,119 @@
+package kwo
+
+import (
+	"kwo/internal/cdw"
+	"kwo/internal/core"
+	"kwo/internal/policy"
+	"kwo/internal/pricing"
+	"kwo/internal/telemetry"
+	"kwo/internal/workload"
+)
+
+// Core warehouse types, re-exported from the simulator so callers never
+// import internal packages directly.
+type (
+	// Size is a T-shirt warehouse size (X-Small … 6X-Large); credits
+	// and capacity double per step.
+	Size = cdw.Size
+	// ScalingPolicy selects multi-cluster scale-out behaviour.
+	ScalingPolicy = cdw.ScalingPolicy
+	// WarehouseConfig is a virtual warehouse's user-settable
+	// configuration.
+	WarehouseConfig = cdw.Config
+	// Alteration is a partial configuration change (ALTER WAREHOUSE).
+	Alteration = cdw.Alteration
+	// Query is one unit of work submitted to a warehouse.
+	Query = cdw.Query
+	// QueryRecord is the telemetry row a completed query produces.
+	QueryRecord = cdw.QueryRecord
+	// HourlyRecord is one row of hourly billing history.
+	HourlyRecord = cdw.HourlyRecord
+	// SimParams are the simulated CDW's physical constants.
+	SimParams = cdw.SimParams
+)
+
+// Warehouse sizes.
+const (
+	SizeXSmall  = cdw.SizeXSmall
+	SizeSmall   = cdw.SizeSmall
+	SizeMedium  = cdw.SizeMedium
+	SizeLarge   = cdw.SizeLarge
+	SizeXLarge  = cdw.SizeXLarge
+	Size2XLarge = cdw.Size2XLarge
+	Size3XLarge = cdw.Size3XLarge
+	Size4XLarge = cdw.Size4XLarge
+	Size5XLarge = cdw.Size5XLarge
+	Size6XLarge = cdw.Size6XLarge
+)
+
+// Multi-cluster scaling policies.
+const (
+	ScaleStandard = cdw.ScaleStandard
+	ScaleEconomy  = cdw.ScaleEconomy
+)
+
+// Customer-facing policy types.
+type (
+	// Slider is the five-position cost/performance control.
+	Slider = policy.Slider
+	// Rule is one hard constraint (time-windowed prohibitions and
+	// resource enforcements).
+	Rule = policy.Rule
+	// Constraints is a warehouse's rule set.
+	Constraints = policy.Constraints
+	// Settings couples the slider and constraints for one warehouse.
+	Settings = core.WarehouseSettings
+)
+
+// Slider positions, from most protective to most aggressive.
+const (
+	BestPerformance = policy.BestPerformance
+	GoodPerformance = policy.GoodPerformance
+	Balanced        = policy.Balanced
+	LowCost         = policy.LowCost
+	LowestCost      = policy.LowestCost
+)
+
+// Engine and reporting types.
+type (
+	// Options tunes the optimization engine (cadences, RL settings,
+	// pricing share).
+	Options = core.Options
+	// Report is the KPI summary the dashboards show.
+	Report = core.Report
+	// DayKPI is one row of the daily spend/latency series (Figure 4).
+	DayKPI = core.DayKPI
+	// HourKPI is one row of the hourly overhead series (Figure 6).
+	HourKPI = core.HourKPI
+	// Invoice is one value-based-pricing statement.
+	Invoice = pricing.Invoice
+	// WindowStats summarizes telemetry over a time window.
+	WindowStats = telemetry.WindowStats
+)
+
+// Workload generation types.
+type (
+	// Generator produces deterministic query arrival streams.
+	Generator = workload.Generator
+	// Template describes one recurring query class.
+	Template = workload.Template
+	// Pool is a weighted template set.
+	Pool = workload.Pool
+	// Arrival is one query arriving at a point in time.
+	Arrival = workload.Arrival
+)
+
+// DefaultOptions returns production-plausible engine options.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultSimParams returns the simulator's physical constants.
+func DefaultSimParams() SimParams { return cdw.DefaultSimParams() }
+
+// NewPool builds a weighted template pool; skew 0 draws uniformly,
+// skew ≈ 1 gives dashboard-like heavy reuse of the first templates.
+func NewPool(templates []Template, skew float64) *Pool {
+	return workload.NewPool(templates, skew)
+}
+
+// ParseSize converts a display name ("X-Small" … "6X-Large") to a Size.
+func ParseSize(name string) (Size, error) { return cdw.ParseSize(name) }

@@ -1,0 +1,88 @@
+package kwo
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"kwo/internal/workload"
+)
+
+// The constructors below wrap the workload generators with the standard
+// template pools, so examples and callers can describe a scenario in
+// one line. For full control, construct workload generators from custom
+// Template pools via NewPool.
+
+// BIDashboards models business-hours dashboard traffic peaking at
+// peakQPH queries/hour: small, heavily reused, cache-sensitive queries
+// on weekdays with light weekend traffic.
+func BIDashboards(peakQPH float64) Generator {
+	pool, _, _ := workload.StandardPools()
+	return workload.BI{Pool: pool, PeakQPH: peakQPH, WeekendFactor: 0.2}
+}
+
+// ETLPipeline models scheduled batch jobs: every period a batch of
+// jobsPerBatch recurring pipeline queries runs with small jitter.
+func ETLPipeline(period time.Duration, jobsPerBatch int) Generator {
+	_, pool, _ := workload.StandardPools()
+	return workload.ETL{Pool: pool, Period: period, Offset: 5 * time.Minute,
+		JobsPerBatch: jobsPerBatch, Jitter: 2 * time.Minute}
+}
+
+// AdHocAnalytics models unpredictable exploratory traffic: baseQPH
+// average arrivals modulated by strong day-to-day variance and random
+// bursts.
+func AdHocAnalytics(baseQPH float64) Generator {
+	_, _, pool := workload.StandardPools()
+	return workload.AdHoc{Pool: pool, BaseQPH: baseQPH, DayVariance: 0.7,
+		BurstsPerDay: 2, BurstQPH: 10 * baseQPH, BurstLen: 15 * time.Minute}
+}
+
+// MixedWorkload overlays several generators on one warehouse.
+func MixedWorkload(parts ...Generator) Generator {
+	return workload.Mixed{Parts: parts}
+}
+
+// CustomBI builds business-hours traffic over a custom template pool.
+func CustomBI(pool *Pool, peakQPH, weekendFactor float64) Generator {
+	return workload.BI{Pool: pool, PeakQPH: peakQPH, WeekendFactor: weekendFactor}
+}
+
+// CustomETL builds a scheduled batch workload over a custom pool.
+func CustomETL(pool *Pool, period time.Duration, jobsPerBatch int, jitter time.Duration) Generator {
+	return workload.ETL{Pool: pool, Period: period, JobsPerBatch: jobsPerBatch, Jitter: jitter}
+}
+
+// LoadSpike injects count queries in a burst at the given time — useful
+// for testing the optimizer's self-correction.
+func LoadSpike(at time.Time, count int, over time.Duration) Generator {
+	pool, _, _ := workload.StandardPools()
+	return workload.Spike{Pool: pool, At: at, Count: count, Over: over}
+}
+
+// GenerateTrace renders a generator's arrival stream over [from, to) as
+// a JSON-lines trace, returning the number of arrivals written. Traces
+// freeze a workload so experiments and replays are exactly repeatable
+// across machines and code versions.
+func GenerateTrace(w io.Writer, gen Generator, from, to time.Time, seed int64) (int, error) {
+	arr := gen.Generate(from, to, rand.New(rand.NewSource(seed)))
+	if err := workload.WriteTrace(w, arr); err != nil {
+		return 0, err
+	}
+	return len(arr), nil
+}
+
+// ReadTrace parses a JSON-lines trace.
+func ReadTrace(r io.Reader) ([]Arrival, error) { return workload.ReadTrace(r) }
+
+// AddTraceWorkload replays a recorded trace against the named
+// warehouse. Arrivals earlier than the current virtual time are
+// dropped; it returns how many were scheduled.
+func (s *Simulation) AddTraceWorkload(warehouse string, r io.Reader) (int, error) {
+	arr, err := workload.ReadTrace(r)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := workload.Drive(s.sched, s.acct, warehouse, arr)
+	return n, nil
+}
