@@ -1,0 +1,84 @@
+package kwo_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+	"time"
+
+	"kwo"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden files")
+
+// quickstartSnapshot reproduces the examples/quickstart scenario — an
+// oversized BI warehouse with unoptimized history, then optimized under
+// the Balanced slider — compressed to two days of history plus three
+// optimized days so the golden file stays small and the test fast.
+func quickstartSnapshot(t *testing.T) []byte {
+	t.Helper()
+	sim := kwo.NewSimulation(42)
+	if _, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name:        "BI_WH",
+		Size:        kwo.SizeLarge,
+		MinClusters: 1,
+		MaxClusters: 2,
+		Policy:      kwo.ScaleStandard,
+		AutoSuspend: 10 * time.Minute,
+		AutoResume:  true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sim.AddWorkload("BI_WH", kwo.BIDashboards(30), 5*24*time.Hour)
+	sim.RunFor(2 * 24 * time.Hour)
+
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	if err := opt.Attach("BI_WH", kwo.Settings{Slider: kwo.Balanced}); err != nil {
+		t.Fatal(err)
+	}
+	opt.Start()
+	sim.RunFor(3 * 24 * time.Hour)
+	opt.Stop()
+
+	var buf bytes.Buffer
+	if err := sim.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTrace runs the quickstart scenario twice with the same seed
+// and asserts both runs produce byte-identical telemetry, which also
+// matches the committed golden file. Regenerate with:
+//
+//	go test . -run TestGoldenTrace -update
+func TestGoldenTrace(t *testing.T) {
+	first := quickstartSnapshot(t)
+	second := quickstartSnapshot(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed produced different snapshots: %d vs %d bytes",
+			len(first), len(second))
+	}
+
+	const goldenPath = "testdata/quickstart.golden.jsonl"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(first))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("snapshot diverged from %s: got %d bytes, want %d; "+
+			"if the simulator or engine changed intentionally, rerun with -update",
+			goldenPath, len(first), len(want))
+	}
+}

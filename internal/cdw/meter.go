@@ -18,26 +18,31 @@ type MeterSegment struct {
 	Size      Size
 	Start     time.Time
 	End       time.Time // zero while the segment is open
-	// MinimumApplied marks a segment extended to the 60-second minimum.
+	// MinimumApplied marks the segment that opened a cluster run (and
+	// therefore carried the 60-second billing minimum at start).
 	MinimumApplied bool
+	// MinBilledUntil, when non-zero, extends the billed interval to at
+	// least this instant — the 60-second cluster-start minimum. A resize
+	// inside the minimum window hands the remainder to the post-resize
+	// segment, so a cluster run's billed intervals never overlap.
+	MinBilledUntil time.Time
 }
 
-// billedEnd returns the end of the billed interval, applying the
-// 60-second minimum for segments that opened a cluster start.
-func (s MeterSegment) billedEnd(minApplies bool) time.Time {
+// BilledEnd returns the end of the billed interval, applying any
+// remaining cluster-start minimum carried by this segment.
+func (s MeterSegment) BilledEnd() time.Time { return s.billedEnd() }
+
+func (s MeterSegment) billedEnd() time.Time {
 	end := s.End
-	if minApplies {
-		if minEnd := s.Start.Add(MinBilledClusterTime); end.Before(minEnd) {
-			end = minEnd
-		}
+	if !s.MinBilledUntil.IsZero() && end.Before(s.MinBilledUntil) {
+		end = s.MinBilledUntil
 	}
 	return end
 }
 
 // Credits returns the credits consumed by the segment.
 func (s MeterSegment) Credits() float64 {
-	end := s.billedEnd(s.MinimumApplied)
-	return s.Size.CreditsPerHour() * end.Sub(s.Start).Hours()
+	return s.Size.CreditsPerHour() * s.billedEnd().Sub(s.Start).Hours()
 }
 
 // Meter is the billing ledger for one warehouse. It accumulates
@@ -47,9 +52,6 @@ type Meter struct {
 	warehouse string
 	closed    []MeterSegment
 	open      map[int]*MeterSegment // by cluster ID
-	// starts records which (clusterID, startTime) pairs began a new
-	// cluster run, i.e. where the 60-second minimum applies.
-	minStarts map[int]time.Time
 }
 
 // NewMeter returns an empty ledger for the named warehouse.
@@ -57,7 +59,6 @@ func NewMeter(warehouse string) *Meter {
 	return &Meter{
 		warehouse: warehouse,
 		open:      make(map[int]*MeterSegment),
-		minStarts: make(map[int]time.Time),
 	}
 }
 
@@ -73,6 +74,7 @@ func (m *Meter) StartCluster(clusterID int, size Size, at time.Time, newStart bo
 	}
 	if newStart {
 		seg.MinimumApplied = true
+		seg.MinBilledUntil = at.Add(MinBilledClusterTime)
 	}
 	m.open[clusterID] = seg
 }
@@ -104,16 +106,23 @@ func (m *Meter) Resize(newSize Size, at time.Time) {
 		}
 		closed := *seg
 		closed.End = at
-		// The 60-second minimum belongs to the cluster run and stays
-		// with the segment that started the run; the post-resize
-		// segment bills from `at` with no minimum of its own.
-		m.closed = append(m.closed, closed)
-		m.open[id] = &MeterSegment{
+		next := &MeterSegment{
 			Warehouse: m.warehouse,
 			ClusterID: id,
 			Size:      newSize,
 			Start:     at,
 		}
+		// The 60-second minimum belongs to the cluster run. If the run's
+		// minimum window is still open, the remainder moves to the
+		// post-resize segment (billed at the new size); otherwise the
+		// closed segment bills exactly its actual duration. Either way
+		// the run's billed intervals never overlap.
+		if closed.MinBilledUntil.After(at) {
+			next.MinBilledUntil = closed.MinBilledUntil
+			closed.MinBilledUntil = time.Time{}
+		}
+		m.closed = append(m.closed, closed)
+		m.open[id] = next
 	}
 }
 
@@ -150,7 +159,7 @@ func (m *Meter) CreditsBetween(from, to, now time.Time) float64 {
 }
 
 func segmentCreditsBetween(seg MeterSegment, from, to time.Time) float64 {
-	end := seg.billedEnd(seg.MinimumApplied)
+	end := seg.billedEnd()
 	start := seg.Start
 	if start.Before(from) {
 		start = from
@@ -194,7 +203,7 @@ func (m *Meter) Hourly(from, to, now time.Time) []HourlyRecord {
 	buckets := make([]float64, n)
 	for _, seg := range m.Segments(now) {
 		rate := seg.Size.CreditsPerHour()
-		start, end := seg.Start, seg.billedEnd(seg.MinimumApplied)
+		start, end := seg.Start, seg.billedEnd()
 		if start.Before(from) {
 			start = from
 		}

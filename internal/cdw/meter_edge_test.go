@@ -1,0 +1,156 @@
+package cdw
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeterResumeDurationEdges pins the 60-second minimum behaviour at
+// and around the boundary: short runs bill exactly 60s, a run of
+// exactly 60s is not inflated, and one second more bills one second
+// more.
+func TestMeterResumeDurationEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		ran     time.Duration
+		wantSec float64
+	}{
+		{"instant stop", 0, 60},
+		{"under minimum", 20 * time.Second, 60},
+		{"one short of minimum", 59 * time.Second, 60},
+		{"exactly minimum", 60 * time.Second, 60},
+		{"one past minimum", 61 * time.Second, 61},
+		{"well past minimum", 10 * time.Minute, 600},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMeter("W")
+			m.StartCluster(0, SizeXSmall, t0, true)
+			m.StopCluster(0, t0.Add(tc.ran))
+			now := t0.Add(time.Hour)
+			got := m.TotalCredits(now)
+			want := tc.wantSec / 3600 // X-Small: 1 credit/hour
+			if !approx(got, want, 1e-9) {
+				t.Fatalf("ran %v: credits = %v, want %v", tc.ran, got, want)
+			}
+			// The hourly aggregation must bill the same credits.
+			var hourly float64
+			for _, r := range m.Hourly(t0, now.Add(time.Hour), now) {
+				hourly += r.Credits
+			}
+			if !approx(hourly, want, 1e-9) {
+				t.Fatalf("ran %v: hourly sum = %v, want %v", tc.ran, hourly, want)
+			}
+		})
+	}
+}
+
+// TestMeterMinimumStraddlesHourBoundary suspends inside the 60s minimum
+// right before a clock hour ends: the minimum's extension must land in
+// the next hour's bucket, and the buckets must still sum to the total.
+func TestMeterMinimumStraddlesHourBoundary(t *testing.T) {
+	m := NewMeter("W")
+	start := t0.Add(time.Hour - 30*time.Second) // 00:59:30
+	m.StartCluster(0, SizeXSmall, start, true)
+	m.StopCluster(0, start.Add(10*time.Second)) // ran 10s, billed until 01:00:30
+	now := t0.Add(2 * time.Hour)
+
+	rows := m.Hourly(t0, now, now)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	wantH0 := 30.0 / 3600 // 00:59:30–01:00:00
+	wantH1 := 30.0 / 3600 // 01:00:00–01:00:30, minimum extension
+	if !approx(rows[0].Credits, wantH0, 1e-9) || !approx(rows[1].Credits, wantH1, 1e-9) {
+		t.Fatalf("hourly = %v/%v, want %v/%v",
+			rows[0].Credits, rows[1].Credits, wantH0, wantH1)
+	}
+	if total := m.TotalCredits(now); !approx(rows[0].Credits+rows[1].Credits, total, 1e-9) {
+		t.Fatalf("hourly sum %v != total %v", rows[0].Credits+rows[1].Credits, total)
+	}
+}
+
+// TestMeterZeroDurationQueries pins the degenerate billing windows:
+// empty and inverted ranges are zero rows and zero credits.
+func TestMeterZeroDurationQueries(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeMedium, t0, true)
+	m.StopCluster(0, t0.Add(5*time.Minute))
+	now := t0.Add(time.Hour)
+
+	if rows := m.Hourly(t0, t0, now); rows != nil {
+		t.Fatalf("Hourly over empty range = %d rows, want nil", len(rows))
+	}
+	if rows := m.Hourly(now, t0, now); rows != nil {
+		t.Fatalf("Hourly over inverted range = %d rows, want nil", len(rows))
+	}
+	at := t0.Add(2 * time.Minute)
+	if c := m.CreditsBetween(at, at, now); c != 0 {
+		t.Fatalf("CreditsBetween over empty range = %v, want 0", c)
+	}
+	if c := m.CreditsBetween(now, t0, now); c != 0 {
+		t.Fatalf("CreditsBetween over inverted range = %v, want 0", c)
+	}
+}
+
+// TestMeterResizeDuringMinimum is the regression test for double
+// billing: a resize inside the 60-second window must hand the remaining
+// minimum to the post-resize segment, so the run bills exactly 60
+// seconds across non-overlapping intervals (20s at the old size, 40s at
+// the new).
+func TestMeterResizeDuringMinimum(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0, true)
+	m.Resize(SizeMedium, t0.Add(20*time.Second))
+	m.StopCluster(0, t0.Add(30*time.Second))
+	now := t0.Add(time.Hour)
+
+	want := 1.0*(20.0/3600) + 4.0*(40.0/3600)
+	if got := m.TotalCredits(now); !approx(got, want, 1e-9) {
+		t.Fatalf("credits = %v, want %v (20s XS + 40s Medium)", got, want)
+	}
+
+	segs := m.Segments(now)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	pre, post := segs[0], segs[1]
+	if !pre.MinimumApplied {
+		t.Fatal("run-opening segment lost its minimum marker")
+	}
+	if !pre.MinBilledUntil.IsZero() {
+		t.Fatalf("pre-resize segment still carries MinBilledUntil %v", pre.MinBilledUntil)
+	}
+	if got, want := post.MinBilledUntil, t0.Add(60*time.Second); !got.Equal(want) {
+		t.Fatalf("post-resize MinBilledUntil = %v, want %v", got, want)
+	}
+	if pre.BilledEnd().After(post.Start) {
+		t.Fatalf("billed intervals overlap: %v > %v — double billing", pre.BilledEnd(), post.Start)
+	}
+	billed := pre.BilledEnd().Sub(pre.Start) + post.BilledEnd().Sub(post.Start)
+	if billed != MinBilledClusterTime {
+		t.Fatalf("run billed %v, want exactly %v", billed, MinBilledClusterTime)
+	}
+}
+
+// TestMeterResizeAfterMinimumNoCarry: once the 60-second window has
+// passed, a resize must not re-extend billing.
+func TestMeterResizeAfterMinimumNoCarry(t *testing.T) {
+	m := NewMeter("W")
+	m.StartCluster(0, SizeXSmall, t0, true)
+	m.Resize(SizeMedium, t0.Add(2*time.Minute))
+	m.StopCluster(0, t0.Add(3*time.Minute))
+	now := t0.Add(time.Hour)
+
+	segs := m.Segments(now)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	if !segs[1].MinBilledUntil.IsZero() {
+		t.Fatalf("post-resize segment carries stale MinBilledUntil %v", segs[1].MinBilledUntil)
+	}
+	want := 1.0*(2.0/60) + 4.0*(1.0/60)
+	if got := m.TotalCredits(now); !approx(got, want, 1e-9) {
+		t.Fatalf("credits = %v, want %v", got, want)
+	}
+}

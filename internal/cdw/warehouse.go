@@ -130,6 +130,12 @@ func (w *Warehouse) ActiveClusters() int { return len(w.clusters) }
 // QueueLength returns the number of queries waiting for a slot.
 func (w *Warehouse) QueueLength() int { return len(w.queue) }
 
+// DrainingClusters returns how many clusters are draining (finishing
+// their in-flight queries before shutdown). Invariant checks use it:
+// non-draining clusters must respect the configured bounds, draining
+// ones are transient slack.
+func (w *Warehouse) DrainingClusters() int { return w.drainingCount() }
+
 // RunningQueries returns the number of queries currently executing.
 func (w *Warehouse) RunningQueries() int {
 	n := 0
@@ -258,6 +264,12 @@ func (w *Warehouse) stopCluster(c *cluster) {
 	w.acct.emitWarehouseEvent(WarehouseEvent{
 		Time: now, Warehouse: w.cfg.Name, Kind: EventClusterStop, Clusters: len(w.clusters),
 	})
+	// A draining cluster can finish after MIN_CLUSTER_COUNT was raised,
+	// leaving a running warehouse below its floor with nothing queued to
+	// trigger a scale-out. Backfill immediately.
+	if w.running && len(w.clusters) < w.cfg.MinClusters {
+		w.startCluster(now.Add(w.acct.params.ClusterStartDelay))
+	}
 }
 
 // dispatch assigns queued queries to clusters with free slots, scaling

@@ -469,3 +469,46 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("simulation not deterministic: (%v,%d) vs (%v,%d)", c1, n1, c2, n2)
 	}
 }
+
+// TestDrainCompletionRespectsRaisedMinClusters is a regression test: a
+// draining cluster that finishes after MIN_CLUSTER_COUNT was raised
+// must not leave the running warehouse below its floor. stopCluster
+// backfills immediately.
+func TestDrainCompletionRespectsRaisedMinClusters(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MaxClusters = 3
+	cfg.AutoSuspend = time.Hour
+	r := newRig(t, cfg)
+	slots := DefaultSimParams().MaxConcurrency
+	for i := 0; i < 3*slots; i++ {
+		qq := q(600)
+		qq.TemplateHash = uint64(i)
+		r.acct.Submit("WH", qq)
+	}
+	r.sched.RunFor(2 * time.Minute)
+	if r.wh.ActiveClusters() != 3 {
+		t.Fatalf("precondition: wanted 3 clusters, got %d", r.wh.ActiveClusters())
+	}
+	// All clusters are busy, so dropping the max forces two to drain.
+	if err := r.acct.Alter("WH", Alteration{MaxClusters: IntP(1)}, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if r.wh.DrainingClusters() != 2 {
+		t.Fatalf("precondition: wanted 2 draining clusters, got %d", r.wh.DrainingClusters())
+	}
+	// Raise the floor above what will survive the drain. The alteration
+	// itself starts nothing: three clusters still exist.
+	if err := r.acct.Alter("WH",
+		Alteration{MinClusters: IntP(2), MaxClusters: IntP(3)}, "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Queries finish, draining clusters stop; the warehouse must
+	// backfill to the new floor rather than sit at one cluster.
+	r.sched.RunFor(30 * time.Minute)
+	if !r.wh.Running() {
+		t.Fatal("warehouse suspended unexpectedly")
+	}
+	if got := r.wh.ActiveClusters(); got < 2 {
+		t.Fatalf("clusters = %d after drain, want >= MinClusters=2", got)
+	}
+}

@@ -154,6 +154,29 @@ func (e *Engine) Stop() {
 // Started returns the engine start time.
 func (e *Engine) Started() time.Time { return e.started }
 
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// BillingPeriodStart returns the start of the warehouse's current
+// (not yet invoiced) billing period — harnesses use it to assert that
+// invoices tile the time axis with no gaps or overlaps.
+func (e *Engine) BillingPeriodStart(warehouse string) (time.Time, error) {
+	st, ok := e.models[warehouse]
+	if !ok {
+		return time.Time{}, fmt.Errorf("core: warehouse %s not attached", warehouse)
+	}
+	return st.billStart, nil
+}
+
+// AttachedAt returns when the warehouse was attached.
+func (e *Engine) AttachedAt(warehouse string) (time.Time, error) {
+	st, ok := e.models[warehouse]
+	if !ok {
+		return time.Time{}, fmt.Errorf("core: warehouse %s not attached", warehouse)
+	}
+	return st.attachAt, nil
+}
+
 func (e *Engine) scheduleLoops(st *smState) {
 	gen := e.gen
 	var decideLoop, trainLoop, billLoop func()
@@ -209,6 +232,7 @@ func (e *Engine) tick(st *smState) {
 
 	current := wh.Config()
 	snap := sm.mon.Observe(now)
+	sm.noteSnapshot(snap)
 
 	// External-change scan over the audit rows since the last tick.
 	changes := e.acct.Changes()
@@ -224,7 +248,14 @@ func (e *Engine) tick(st *smState) {
 	act, enforce := sm.decide(now, current, snap, external, credits, e.opts)
 
 	if !enforce.IsZero() {
-		if err := e.act.ApplyAlteration(sm.Warehouse, enforce, "constraint"); err == nil {
+		// Enforcement proper (a window demands compliance now) and the
+		// post-window restore are logged under distinct reasons so audits
+		// can hold each to its own invariant.
+		reason := "constraint"
+		if sm.settings.Constraints.Required(now, current).IsZero() {
+			reason = "constraint-restore"
+		}
+		if err := e.act.ApplyAlteration(sm.Warehouse, enforce, reason); err == nil {
 			sm.expected = wh.Config()
 		}
 		return
@@ -299,5 +330,5 @@ func (e *Engine) Snapshot(warehouse string) (monitor.Snapshot, error) {
 	if !ok {
 		return monitor.Snapshot{}, fmt.Errorf("core: warehouse %s not attached", warehouse)
 	}
-	return st.sm.mon.Observe(e.sched.Now()), nil
+	return st.sm.mon.Peek(e.sched.Now()), nil
 }

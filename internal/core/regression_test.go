@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/monitor"
+	"kwo/internal/policy"
+	"kwo/internal/simclock"
+	"kwo/internal/workload"
+)
+
+// TestRestoreRespectsProhibition is a regression test: when an
+// enforcement window closes while a NoDownsize prohibition is active,
+// the engine must not restore (downsize) the enforced upsize until the
+// prohibition lifts.
+func TestRestoreRespectsProhibition(t *testing.T) {
+	cfg, gen := biWorkload()
+	xl := cdw.SizeXLarge
+	settings := DefaultSettings()
+	settings.Constraints = policy.Constraints{
+		{Name: "morning rush", StartMinute: 9 * 60, EndMinute: 9*60 + 30, EnforceSize: &xl},
+		{Name: "business hours", StartMinute: 9*60 + 30, EndMinute: 16 * 60, NoDownsize: true},
+	}
+	sc := runScenario(t, 3, cfg, gen, 1, 2, settings, testOptions())
+	if sc.sm.Constrained == 0 {
+		t.Fatal("enforcement window never fired")
+	}
+	for _, ch := range sc.acct.Changes() {
+		if ch.Actor != "kwo" || ch.After.Size >= ch.Before.Size {
+			continue
+		}
+		min := ch.Time.Hour()*60 + ch.Time.Minute()
+		if min >= 9*60+30 && min < 16*60 {
+			t.Fatalf("KWO downsized %v -> %v at %v inside the no-downsize window",
+				ch.Before.Size, ch.After.Size, ch.Time)
+		}
+	}
+}
+
+// TestSnapshotDoesNotFoldWindow is a regression test: Engine.Snapshot
+// promises a side-effect-free read, but it used to fold a monitor
+// window on every call, corrupting baselines for callers that poll.
+func TestSnapshotDoesNotFoldWindow(t *testing.T) {
+	cfg, gen := biWorkload()
+	opts := testOptions()
+	sched := simclock.NewScheduler(5)
+	acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+	engine := NewEngine(acct, opts)
+	if _, err := acct.CreateWarehouse(cfg); err != nil {
+		t.Fatal(err)
+	}
+	end := t0.Add(2 * 24 * time.Hour)
+	arr := gen.Generate(t0, end, sched.Rand("workload"))
+	workload.Drive(sched, acct, cfg.Name, arr)
+	sched.RunUntil(t0.Add(24 * time.Hour))
+	sm, err := engine.Attach(cfg.Name, DefaultSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Start()
+
+	// Poll mid-run, during business-hour traffic, so the observation
+	// window is non-empty — the case where a fold would advance state.
+	polled := false
+	sched.Schedule(t0.Add(36*time.Hour), "poll", func() {
+		before := sm.Monitor().Windows()
+		var last monitor.Snapshot
+		for i := 0; i < 5; i++ {
+			s, err := engine.Snapshot(cfg.Name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			last = s
+		}
+		if last.Stats.Queries == 0 {
+			t.Error("precondition: observation window empty at poll time")
+		}
+		if after := sm.Monitor().Windows(); after != before {
+			t.Errorf("Snapshot folded monitor windows: %d -> %d", before, after)
+		}
+		polled = true
+	})
+	sched.RunUntil(end)
+	if !polled {
+		t.Fatal("poll event never ran")
+	}
+}
+
+// TestAllowsAlterationFiltersProhibited pins the policy-level oracle
+// the restore path uses: a combined alteration is rejected when any
+// field violates an active rule.
+func TestAllowsAlterationFiltersProhibited(t *testing.T) {
+	small := cdw.SizeSmall
+	cs := policy.Constraints{{Name: "steady", NoDownsize: true, MaxSize: &small}}
+	cur := cdw.Config{Name: "W", Size: cdw.SizeSmall, MinClusters: 1, MaxClusters: 2,
+		AutoSuspend: 5 * time.Minute, AutoResume: true}
+	at := t0.Add(12 * time.Hour)
+
+	if cs.AllowsAlteration(at, cur, cdw.Alteration{Size: cdw.SizeP(cdw.SizeXSmall)}) {
+		t.Fatal("downsize allowed during NoDownsize")
+	}
+	if cs.AllowsAlteration(at, cur, cdw.Alteration{Size: cdw.SizeP(cdw.SizeMedium)}) {
+		t.Fatal("upsize past MaxSize allowed")
+	}
+	if !cs.AllowsAlteration(at, cur, cdw.Alteration{AutoSuspend: cdw.DurationP(time.Minute)}) {
+		t.Fatal("unrelated auto-suspend change rejected")
+	}
+	if !cs.AllowsAlteration(at, cur, cdw.Alteration{}) {
+		t.Fatal("zero alteration rejected")
+	}
+}

@@ -74,6 +74,13 @@ type SmartModel struct {
 	Reverts     int
 	Constrained int // constraint enforcements applied
 	Pauses      int
+
+	// Observation trail for harnesses: the latest monitor snapshot the
+	// engine handed to this model, and how many of those snapshots were
+	// degraded. Updated once per decision tick.
+	lastSnap      monitor.Snapshot
+	haveSnap      bool
+	degradedTicks int
 }
 
 func newSmartModel(warehouse string, orig cdw.Config, settings WarehouseSettings,
@@ -135,6 +142,33 @@ func (sm *SmartModel) ResumeOptimization(current cdw.Config) {
 // CostModel returns the trained warehouse cost model (nil before the
 // first training pass).
 func (sm *SmartModel) CostModel() *costmodel.Model { return sm.cost }
+
+// Monitor returns the model's real-time monitor. Callers must not
+// invoke Observe on it (that would fold extra windows into the
+// baselines); use Peek and the read-only accessors instead.
+func (sm *SmartModel) Monitor() *monitor.Monitor { return sm.mon }
+
+// LastSnapshot returns the most recent monitor snapshot the engine
+// handed to this model; ok is false before the first decision tick.
+func (sm *SmartModel) LastSnapshot() (snap monitor.Snapshot, ok bool) {
+	return sm.lastSnap, sm.haveSnap
+}
+
+// DegradedTicks returns how many decision ticks observed a degraded
+// snapshot — harnesses use it to assert the monitor's detection SLA.
+func (sm *SmartModel) DegradedTicks() int { return sm.degradedTicks }
+
+// DecisionWindows returns how many decision ticks the model has seen.
+func (sm *SmartModel) DecisionWindows() int { return sm.windows }
+
+// noteSnapshot records the snapshot the engine observed this tick.
+func (sm *SmartModel) noteSnapshot(snap monitor.Snapshot) {
+	sm.lastSnap = snap
+	sm.haveSnap = true
+	if snap.Degraded {
+		sm.degradedTicks++
+	}
+}
 
 // retrain refreshes the cost model and runs an offline training pass
 // over historical windows (Algorithm 1 lines 14–16).
@@ -233,6 +267,26 @@ func (sm *SmartModel) decide(now time.Time, current cdw.Config, snap monitor.Sna
 		}
 		if current.MaxClusters != prev.MaxClusters {
 			alt.MaxClusters = cdw.IntP(prev.MaxClusters)
+		}
+		// The restore is itself a configuration change and must honor
+		// whatever prohibition rules are active right now — an enforcement
+		// window ending inside a "no downsizing" window must not shrink
+		// the warehouse. Drop the fields a rule forbids; the smart model
+		// will walk the rest back once the prohibition lifts.
+		if !sm.settings.Constraints.AllowsAlteration(now, current, alt) {
+			if alt.Size != nil && !sm.settings.Constraints.AllowsAlteration(
+				now, current, cdw.Alteration{Size: alt.Size}) {
+				alt.Size = nil
+			}
+			if alt.MinClusters != nil || alt.MaxClusters != nil {
+				clusters := cdw.Alteration{MinClusters: alt.MinClusters, MaxClusters: alt.MaxClusters}
+				if !sm.settings.Constraints.AllowsAlteration(now, current, clusters) {
+					alt.MinClusters, alt.MaxClusters = nil, nil
+				}
+			}
+			if !sm.settings.Constraints.AllowsAlteration(now, current, alt) {
+				alt = cdw.Alteration{}
+			}
 		}
 		if !alt.IsZero() {
 			sm.Constrained++

@@ -463,3 +463,36 @@ func TestPredictImpactPolicySwitch(t *testing.T) {
 		t.Fatalf("policy switch on single-cluster warehouse has impact: %+v", none)
 	}
 }
+
+// TestFitLatencyDeterministic is a regression test: FitLatency used to
+// accumulate the pooled regression sums in map-iteration order, so the
+// fitted weights differed in their last bits from run to run —
+// occasionally flipping a borderline engine decision and breaking
+// seed-level reproducibility. Many templates with irregular values make
+// any order sensitivity visible across repeated fits.
+func TestFitLatencyDeterministic(t *testing.T) {
+	obs := make(map[uint64][]telemetry.LatencyObs)
+	for tmpl := uint64(1); tmpl <= 60; tmpl++ {
+		x := float64(tmpl)
+		for _, s := range []cdw.Size{cdw.SizeXSmall, cdw.SizeSmall, cdw.SizeMedium} {
+			exec := (100.0 + x/3.0) * math.Exp2(-0.9*float64(s))
+			obs[tmpl] = append(obs[tmpl],
+				telemetry.LatencyObs{Size: s, ExecSecs: exec},
+				telemetry.LatencyObs{Size: s, ExecSecs: exec * 1.37, Cold: true})
+		}
+	}
+	ref := FitLatency(obs)
+	for i := 0; i < 20; i++ {
+		m := FitLatency(obs)
+		if m.globalLogStep != ref.globalLogStep || m.coldRatio != ref.coldRatio {
+			t.Fatalf("fit %d diverged: logStep %v vs %v, coldRatio %v vs %v",
+				i, m.globalLogStep, ref.globalLogStep, m.coldRatio, ref.coldRatio)
+		}
+		for j, w := range m.global.Weights {
+			if w != ref.global.Weights[j] {
+				t.Fatalf("fit %d: global weight %d = %v, want %v (bit-exact)",
+					i, j, w, ref.global.Weights[j])
+			}
+		}
+	}
+}

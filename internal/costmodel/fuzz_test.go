@@ -1,0 +1,109 @@
+package costmodel
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/telemetry"
+)
+
+// decodeHistory turns arbitrary fuzz bytes into a query history: each
+// 8-byte chunk encodes one query's arrival gap, execution time, size,
+// template and cold flag. Any byte string decodes to a valid history,
+// so the fuzzer explores histories (dense bursts, huge gaps, size
+// mixes), not parser rejections.
+func decodeHistory(data []byte) *telemetry.WarehouseLog {
+	log := &telemetry.WarehouseLog{Name: "W"}
+	at := t0
+	for len(data) >= 8 {
+		w := binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+		gap := time.Duration(w&0xFFFF) * time.Second                     // 0 .. ~18h
+		exec := time.Duration((w>>16)&0x3FFF+1) * time.Millisecond * 100 // 0.1s .. ~27min
+		size := cdw.SizeXSmall + cdw.Size((w>>30)&0x7)
+		if !size.Valid() {
+			size = cdw.SizeXSmall
+		}
+		tmpl := (w >> 33) & 0xF
+		cold := (w>>37)&0x1 == 1
+		queue := time.Duration((w>>38)&0xFF) * time.Second
+
+		at = at.Add(gap)
+		start := at.Add(queue)
+		log.Queries = append(log.Queries, cdw.QueryRecord{
+			QueryID:       uint64(len(log.Queries) + 1),
+			Warehouse:     "W",
+			TemplateHash:  tmpl,
+			SubmitTime:    at,
+			StartTime:     start,
+			EndTime:       start.Add(exec),
+			QueueDuration: queue,
+			ExecDuration:  exec,
+			Size:          size,
+			Clusters:      1 + int((w>>46)&0x3),
+			ColdRead:      cold,
+		})
+	}
+	return log
+}
+
+// FuzzReplay trains the cost model on arbitrary query histories and
+// replays them: whatever the history, the predicted without-Keebo cost
+// must be finite and non-negative, and sub-window replays must never
+// cost more than the full window.
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte{})
+	// One isolated query.
+	f.Add(binary.LittleEndian.AppendUint64(nil, 60|(300<<16)))
+	// A burst of identical queries with zero gaps.
+	var burst []byte
+	for i := 0; i < 12; i++ {
+		burst = binary.LittleEndian.AppendUint64(burst, uint64(i)<<33|(50<<16))
+	}
+	f.Add(burst)
+	// Mixed sizes, huge gaps, cold reads.
+	var mixed []byte
+	for i := 0; i < 8; i++ {
+		mixed = binary.LittleEndian.AppendUint64(mixed,
+			0xFFFF|uint64(i%5)<<30|uint64(i)<<33|1<<37|(900<<16))
+	}
+	f.Add(mixed)
+
+	cfg := cdw.Config{Name: "W", Size: cdw.SizeMedium, MinClusters: 1,
+		MaxClusters: 2, AutoSuspend: 5 * time.Minute, AutoResume: true}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 8*256 {
+			data = data[:8*256] // bound per-input work
+		}
+		log := decodeHistory(data)
+		to := t0.Add(time.Hour)
+		if n := len(log.Queries); n > 0 {
+			to = log.Queries[n-1].EndTime.Add(time.Hour)
+		}
+		m := Train(log, cfg, t0, to, 8)
+		res := m.Replay(log, t0, to)
+
+		check := func(name string, v float64) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s = %v for %d-query history", name, v, len(log.Queries))
+			}
+		}
+		check("Credits", res.Credits)
+		check("ActiveSeconds", res.ActiveSeconds)
+		if res.Resumes < 0 || res.Queries != len(log.Queries) {
+			t.Fatalf("resumes=%d queries=%d/%d", res.Resumes, res.Queries, len(log.Queries))
+		}
+
+		// A half-window replay can never cost more than the full window.
+		mid := t0.Add(to.Sub(t0) / 2)
+		half := m.Replay(log, t0, mid)
+		check("half-window Credits", half.Credits)
+		if half.Credits > res.Credits+1e-9 {
+			t.Fatalf("sub-window costs %v > full window %v", half.Credits, res.Credits)
+		}
+	})
+}

@@ -10,6 +10,7 @@ package costmodel
 
 import (
 	"math"
+	"sort"
 
 	"kwo/internal/cdw"
 	"kwo/internal/ml"
@@ -56,7 +57,16 @@ func FitLatency(obs map[uint64][]telemetry.LatencyObs) *LatencyModel {
 	var allY []float64
 	var coldSum, warmSum float64
 	var coldN, warmN int
-	for tmpl, list := range obs {
+	// Iterate templates in a fixed order: the pooled sums below are
+	// float accumulations, so map order would leak into the last ULPs
+	// of the fitted weights and break run-to-run determinism.
+	tmpls := make([]uint64, 0, len(obs))
+	for tmpl := range obs {
+		tmpls = append(tmpls, tmpl)
+	}
+	sort.Slice(tmpls, func(i, j int) bool { return tmpls[i] < tmpls[j] })
+	for _, tmpl := range tmpls {
+		list := obs[tmpl]
 		var rows [][]float64
 		var y []float64
 		sizes := map[cdw.Size]bool{}

@@ -104,6 +104,24 @@ func New(store *telemetry.Store, warehouse string, window time.Duration, th Thre
 // Observe computes the current snapshot and folds the window into the
 // baselines. Call it once per decision tick.
 func (m *Monitor) Observe(now time.Time) Snapshot {
+	snap := m.Peek(now)
+	// Fold into baselines. Spiking windows are still folded (slowly)
+	// so a genuinely changed workload eventually becomes the baseline
+	// — the models "constantly learn and improve".
+	if snap.Stats.Queries > 0 {
+		m.p99.Add(snap.Stats.P99Latency.Seconds())
+		m.queue.Add(snap.Stats.P99Queue.Seconds())
+		m.qph.Add(snap.Stats.QPH)
+		m.n++
+	}
+	return snap
+}
+
+// Peek computes the current snapshot WITHOUT folding the window into
+// the baselines. It is side-effect free, so test harnesses and
+// invariant checks can inspect the monitor's verdict at any instant
+// without perturbing what the engine's own Observe calls will see.
+func (m *Monitor) Peek(now time.Time) Snapshot {
 	var log *telemetry.WarehouseLog
 	if m.store != nil {
 		log = m.store.Log(m.warehouse)
@@ -139,22 +157,18 @@ func (m *Monitor) Observe(now time.Time) Snapshot {
 		}
 	}
 	snap.Degraded = snap.LatencySpike || snap.QueueSpike || snap.LoadSpike || snap.NewPattern
-
-	// Fold into baselines. Spiking windows are still folded (slowly)
-	// so a genuinely changed workload eventually becomes the baseline
-	// — the models "constantly learn and improve".
-	if ws.Queries > 0 {
-		m.p99.Add(ws.P99Latency.Seconds())
-		m.queue.Add(ws.P99Queue.Seconds())
-		m.qph.Add(ws.QPH)
-		m.n++
-	}
 	return snap
 }
 
 // Windows returns how many non-empty windows have been folded into the
 // baselines.
 func (m *Monitor) Windows() int { return m.n }
+
+// Config returns the thresholds the monitor was built with.
+func (m *Monitor) Config() Thresholds { return m.th }
+
+// Window returns the observation window length.
+func (m *Monitor) Window() time.Duration { return m.window }
 
 // ExternalChanges filters a change log down to alterations made by
 // actors other than selfActor — the trigger for §4.4's "immediately

@@ -144,6 +144,46 @@ func (cs Constraints) Allows(t time.Time, cur cdw.Config, act action.Action) boo
 	return true
 }
 
+// AllowsAlteration reports whether applying the raw alteration to cur
+// at time t violates any active rule — the Alteration-level counterpart
+// of Allows. The engine uses it to filter post-enforcement restores:
+// restoring the pre-window configuration is itself a configuration
+// change and must honor the prohibitions active at restore time.
+func (cs Constraints) AllowsAlteration(t time.Time, cur cdw.Config, alt cdw.Alteration) bool {
+	next := alt.Apply(cur)
+	for _, r := range cs {
+		if !r.ActiveAt(t) {
+			continue
+		}
+		if r.NoDownsize && next.Size < cur.Size {
+			return false
+		}
+		if r.NoUpsize && next.Size > cur.Size {
+			return false
+		}
+		if r.NoSuspendChange && next.AutoSuspend != cur.AutoSuspend {
+			return false
+		}
+		if r.NoClusterChange &&
+			(next.MinClusters != cur.MinClusters || next.MaxClusters != cur.MaxClusters) {
+			return false
+		}
+		if r.MinSize != nil && next.Size < *r.MinSize {
+			return false
+		}
+		if r.MaxSize != nil && next.Size > *r.MaxSize {
+			return false
+		}
+		if r.MinClusters != nil && next.MaxClusters < *r.MinClusters {
+			return false
+		}
+		if r.EnforceSize != nil && next.Size != *r.EnforceSize {
+			return false
+		}
+	}
+	return true
+}
+
 // Required returns the alteration needed to bring cur into compliance
 // with the rules active at t, or a zero Alteration if already
 // compliant. This implements enforcement rules like "from 9am to 9:30am

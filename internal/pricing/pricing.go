@@ -6,6 +6,7 @@ package pricing
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -50,6 +51,51 @@ func NewInvoice(warehouse string, from, to time.Time, actual, withoutKeebo, rate
 		Rate:                  rate,
 		Charge:                savings * rate,
 	}
+}
+
+// Validate checks the invoice's internal consistency: every field
+// finite and non-negative, the period well-formed, savings exactly the
+// clamped counterfactual difference, and the charge exactly the rated
+// share of savings. "No savings, no charges" (§4.7) is only credible
+// if no code path can manufacture a charge any other way.
+func (i Invoice) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"ActualCredits", i.ActualCredits},
+		{"EstimatedWithoutKeebo", i.EstimatedWithoutKeebo},
+		{"Savings", i.Savings},
+		{"Rate", i.Rate},
+		{"Charge", i.Charge},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("pricing: invoice %s: %s is %v", i.Warehouse, f.name, f.v)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("pricing: invoice %s: %s is negative (%v)", i.Warehouse, f.name, f.v)
+		}
+	}
+	if i.To.Before(i.From) {
+		return fmt.Errorf("pricing: invoice %s: period ends (%v) before it starts (%v)",
+			i.Warehouse, i.To, i.From)
+	}
+	if i.Rate <= 0 || i.Rate >= 1 {
+		return fmt.Errorf("pricing: invoice %s: rate %v outside (0,1)", i.Warehouse, i.Rate)
+	}
+	wantSavings := i.EstimatedWithoutKeebo - i.ActualCredits
+	if wantSavings < 0 {
+		wantSavings = 0
+	}
+	if i.Savings != wantSavings {
+		return fmt.Errorf("pricing: invoice %s: savings %v != clamp(withoutKeebo-actual) %v",
+			i.Warehouse, i.Savings, wantSavings)
+	}
+	if i.Charge != i.Savings*i.Rate {
+		return fmt.Errorf("pricing: invoice %s: charge %v != savings*rate %v",
+			i.Warehouse, i.Charge, i.Savings*i.Rate)
+	}
+	return nil
 }
 
 // SavingsPercent returns savings as a percentage of the counterfactual

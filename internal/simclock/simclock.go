@@ -129,6 +129,16 @@ func (s *Scheduler) Cancel(e *Event) bool {
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
+// NextEventTime returns the time of the earliest pending event. The
+// second result is false when the queue is empty. Harnesses use it to
+// step the simulation event by event up to a horizon.
+func (s *Scheduler) NextEventTime() (time.Time, bool) {
+	if len(s.queue) == 0 {
+		return time.Time{}, false
+	}
+	return s.queue[0].At, true
+}
+
 // Step executes the next event, advancing the clock to its time.
 // It returns false when the queue is empty or the scheduler was halted.
 func (s *Scheduler) Step() bool {

@@ -1,0 +1,436 @@
+package simtest
+
+import (
+	"fmt"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/core"
+	"kwo/internal/policy"
+	"kwo/internal/simclock"
+	"kwo/internal/telemetry"
+	"kwo/internal/workload"
+)
+
+const (
+	// maxFailures bounds how many invariant violations one run collects
+	// before the harness stops stepping.
+	maxFailures = 8
+	// maxQueue is the runaway bound on queued queries.
+	maxQueue = 20000
+	// eventTail is how many recent simulation events the failure report
+	// keeps.
+	eventTail = 48
+	// chaosActor is the non-KWO identity used for injected external
+	// alterations.
+	chaosActor = "chaos-admin"
+)
+
+// Result is the outcome of driving one scenario to completion.
+type Result struct {
+	Seed     int64
+	Failures []string
+	// EventTail is the most recent slice of the event log, oldest first.
+	EventTail []string
+	// Faults describes the scenario's injected faults.
+	Faults []string
+
+	// Determinism fingerprint: two runs of the same scenario must agree
+	// on every field below, byte for byte.
+	Snapshot       []byte
+	TotalCredits   float64
+	AuditRows      int
+	AppliedActions int
+	Invoices       int
+	Steps          uint64
+
+	Scheduled int
+	Completed int
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Failures) > 0 }
+
+// Report renders a human-readable failure report with replay
+// instructions.
+func (r *Result) Report() string {
+	s := fmt.Sprintf("scenario seed %d: %d invariant violation(s)\n", r.Seed, len(r.Failures))
+	for _, f := range r.Failures {
+		s += "  FAIL " + f + "\n"
+	}
+	if len(r.Faults) > 0 {
+		s += "injected faults:\n"
+		for _, f := range r.Faults {
+			s += "  " + f + "\n"
+		}
+	}
+	if len(r.EventTail) > 0 {
+		s += "last events:\n"
+		for _, e := range r.EventTail {
+			s += "  " + e + "\n"
+		}
+	}
+	s += fmt.Sprintf("replay: go test ./internal/simtest -run 'TestSim' -seed=%d -v", r.Seed)
+	return s
+}
+
+// ruleEpoch is one span of the constraint timeline (rules change mid-run
+// via FaultConstraintSwap).
+type ruleEpoch struct {
+	from  time.Time
+	rules policy.Constraints
+}
+
+type harness struct {
+	sc    Scenario
+	sched *simclock.Scheduler
+	acct  *cdw.Account
+	store *telemetry.Store
+	eng   *core.Engine
+	wh    *cdw.Warehouse
+	name  string
+
+	start, attachAt, end time.Time
+	engineStarted        bool
+
+	epochs []ruleEpoch
+
+	// Sweep cursors: everything before these indices has been verified.
+	auditIdx   int
+	actIdx     int
+	invoiceIdx int
+	billingIdx int
+
+	prevCredits       float64
+	nonCompliantSince time.Time
+
+	scheduled    int
+	autoResumeOn bool // AutoResume never observed false
+
+	events   []string
+	failures []string
+}
+
+// RunScenario drives the scenario to completion, checking invariants
+// along the way.
+func RunScenario(sc Scenario) *Result {
+	h := &harness{sc: sc, name: sc.Warehouse.Name, autoResumeOn: sc.Warehouse.AutoResume}
+	h.sched = simclock.NewScheduler(sc.Seed)
+	h.acct = cdw.NewAccount(h.sched, sc.Params)
+	h.store = telemetry.NewStore()
+	h.acct.Subscribe(h.store)
+	h.acct.Subscribe(h)
+
+	h.start = h.sched.Now()
+	h.attachAt = h.start.Add(sc.PreRun)
+	h.end = h.start.Add(sc.PreRun + sc.Run)
+	h.epochs = []ruleEpoch{{from: h.start, rules: sc.Rules}}
+
+	wh, err := h.acct.CreateWarehouse(sc.Warehouse)
+	if err != nil {
+		h.failf(h.start, "create warehouse: %v", err)
+		return h.result()
+	}
+	h.wh = wh
+	h.eng = core.NewEngineWithStore(h.acct, h.store, sc.Opts)
+
+	for i, g := range sc.Gens {
+		arr := g.Generate(h.start, h.end, h.sched.Rand(fmt.Sprintf("simtest:gen:%d:%s", i, g.Name())))
+		n, _ := workload.Drive(h.sched, h.acct, h.name, arr)
+		h.scheduled += n
+	}
+
+	h.sched.Schedule(h.attachAt, "simtest:attach", func() {
+		settings := core.WarehouseSettings{Slider: sc.Slider, Constraints: sc.Rules}
+		if _, err := h.eng.Attach(h.name, settings); err != nil {
+			h.failf(h.sched.Now(), "attach: %v", err)
+			return
+		}
+		h.eng.Start()
+		h.engineStarted = true
+	})
+
+	for i, f := range sc.Faults {
+		h.scheduleFault(i, f)
+	}
+
+	var sweepLoop func()
+	sweepLoop = func() {
+		h.sweep(h.sched.Now())
+		if h.sched.Now().Add(sc.CheckEvery).Before(h.end) {
+			h.sched.After(sc.CheckEvery, "simtest:sweep", sweepLoop)
+		}
+	}
+	h.sched.After(sc.CheckEvery, "simtest:sweep", sweepLoop)
+	h.sched.Schedule(h.end, "simtest:stop", func() { h.eng.Stop() })
+
+	horizon := h.end.Add(sc.Drain)
+	for len(h.failures) < maxFailures {
+		t, ok := h.sched.NextEventTime()
+		if !ok || t.After(horizon) {
+			break
+		}
+		h.sched.Step()
+		h.cheapCheck()
+	}
+	h.sched.RunUntil(horizon)
+
+	if len(h.failures) < maxFailures {
+		h.finalChecks(horizon)
+	}
+	return h.result()
+}
+
+func (h *harness) result() *Result {
+	res := &Result{
+		Seed:      h.sc.Seed,
+		Failures:  h.failures,
+		EventTail: h.events,
+		Steps:     h.sched.Steps(),
+		Scheduled: h.scheduled,
+	}
+	for _, f := range h.sc.Faults {
+		res.Faults = append(res.Faults, f.describe())
+	}
+	if h.wh != nil {
+		res.TotalCredits = h.wh.Meter().TotalCredits(h.sched.Now())
+		_, _, _, res.Completed = h.wh.Stats()
+	}
+	res.AuditRows = len(h.acct.Changes())
+	if h.eng != nil {
+		res.AppliedActions = h.eng.Actuator().AppliedCount()
+		res.Invoices = len(h.eng.Ledger().Invoices())
+	}
+	if snap, err := h.store.SnapshotBytes(); err == nil {
+		res.Snapshot = snap
+	} else {
+		res.Failures = append(res.Failures, fmt.Sprintf("snapshot serialization: %v", err))
+	}
+	return res
+}
+
+func (h *harness) failf(at time.Time, format string, args ...any) {
+	if len(h.failures) >= maxFailures {
+		return
+	}
+	h.failures = append(h.failures,
+		fmt.Sprintf("[%s] ", at.Format("Mon 15:04:05"))+fmt.Sprintf(format, args...))
+}
+
+func (h *harness) logEvent(at time.Time, s string) {
+	h.events = append(h.events, fmt.Sprintf("[%s] %s", at.Format("Mon 15:04:05.000"), s))
+	if len(h.events) > eventTail {
+		h.events = h.events[len(h.events)-eventTail:]
+	}
+}
+
+// rulesAt returns the constraint rules in force at t.
+func (h *harness) rulesAt(t time.Time) policy.Constraints {
+	rules := h.epochs[0].rules
+	for _, e := range h.epochs[1:] {
+		if e.from.After(t) {
+			break
+		}
+		rules = e.rules
+	}
+	return rules
+}
+
+func (h *harness) model() *core.SmartModel {
+	if h.eng == nil {
+		return nil
+	}
+	sm, err := h.eng.Model(h.name)
+	if err != nil {
+		return nil
+	}
+	return sm
+}
+
+// ---------------------------------------------------------------------
+// Fault scheduling.
+
+func (h *harness) scheduleFault(i int, f Fault) {
+	switch f.Kind {
+	case FaultSpike:
+		gen := workload.Spike{Pool: h.sc.SpikePool, At: f.At, Count: f.Count, Over: f.Over}
+		arr := gen.Generate(h.start, h.end, h.sched.Rand(fmt.Sprintf("simtest:fault:%d", i)))
+		n, _ := workload.Drive(h.sched, h.acct, h.name, arr)
+		h.scheduled += n
+		h.scheduleSpikeSLA(f)
+	case FaultStall:
+		gen := workload.Stall{At: f.At, Count: f.Count, WorkSecs: f.WorkSecs}
+		arr := gen.Generate(h.start, h.end, h.sched.Rand(fmt.Sprintf("simtest:fault:%d", i)))
+		n, _ := workload.Drive(h.sched, h.acct, h.name, arr)
+		h.scheduled += n
+	case FaultExternalAlter:
+		h.sched.Schedule(f.At, "simtest:external-alter", func() { h.fireExternalAlter(f) })
+	case FaultBoundaryRace:
+		t0 := f.At.Truncate(time.Hour).Add(time.Hour)
+		h.sched.Schedule(t0, "simtest:race-suspend", func() {
+			h.logEvent(t0, "fault: external SUSPEND on hour boundary")
+			_ = h.acct.Alter(h.name, cdw.Alteration{Suspend: true}, chaosActor)
+		})
+		h.sched.Schedule(t0.Add(45*time.Second), "simtest:race-resume", func() {
+			h.logEvent(h.sched.Now(), "fault: external RESUME inside 60s minimum")
+			_ = h.acct.Alter(h.name, cdw.Alteration{Resume: true}, chaosActor)
+		})
+	case FaultSliderMove:
+		h.sched.Schedule(f.At, "simtest:slider-move", func() {
+			if sm := h.model(); sm != nil {
+				h.logEvent(f.At, fmt.Sprintf("fault: slider -> %v", f.Slider))
+				sm.SetSlider(f.Slider)
+			}
+		})
+	case FaultConstraintSwap:
+		h.sched.Schedule(f.At, "simtest:constraint-swap", func() {
+			if sm := h.model(); sm != nil {
+				h.logEvent(f.At, fmt.Sprintf("fault: constraints swapped (%d rules)", len(f.Rules)))
+				sm.SetConstraints(f.Rules)
+				h.epochs = append(h.epochs, ruleEpoch{from: h.sched.Now(), rules: f.Rules})
+			}
+		})
+	}
+}
+
+// fireExternalAlter builds a genuinely config-changing alteration from
+// the live configuration and applies it as a foreign actor.
+func (h *harness) fireExternalAlter(f Fault) {
+	cur := h.wh.Config()
+	var alt cdw.Alteration
+	switch f.AlterPick {
+	case 0:
+		s := cur.Size.Up()
+		if cur.Size > cdw.SizeXSmall {
+			s = cur.Size.Down()
+		}
+		alt.Size = cdw.SizeP(s)
+	case 1:
+		d := 5 * time.Minute
+		if cur.AutoSuspend > 0 {
+			d = 2 * cur.AutoSuspend
+		}
+		alt.AutoSuspend = cdw.DurationP(d)
+	case 2:
+		m := cur.MaxClusters + 1
+		if cur.MaxClusters > cur.MinClusters {
+			m = cur.MaxClusters - 1
+		}
+		alt.MaxClusters = cdw.IntP(m)
+	default:
+		p := cdw.ScaleEconomy
+		if cur.Policy == cdw.ScaleEconomy {
+			p = cdw.ScaleStandard
+		}
+		alt.Policy = cdw.PolicyP(p)
+	}
+	h.logEvent(f.At, "fault: external "+alt.String())
+	if err := h.acct.Alter(h.name, alt, chaosActor); err != nil {
+		h.failf(f.At, "external alter rejected: %v", err)
+		return
+	}
+
+	// Undo restores the pre-alteration values of the altered fields.
+	undo := cdw.Alteration{}
+	if alt.Size != nil {
+		undo.Size = cdw.SizeP(cur.Size)
+	}
+	if alt.AutoSuspend != nil {
+		undo.AutoSuspend = cdw.DurationP(cur.AutoSuspend)
+	}
+	if alt.MaxClusters != nil {
+		undo.MaxClusters = cdw.IntP(cur.MaxClusters)
+	}
+	if alt.Policy != nil {
+		undo.Policy = cdw.PolicyP(cur.Policy)
+	}
+
+	started := h.engineStarted
+	// §4.4: an external change pauses optimization. Only asserted when
+	// this is the scenario's sole external disturbance, so interleaved
+	// externals cannot legitimately flip the pause state.
+	if h.sc.SoleExternal && started {
+		checkAt := f.At.Add(2*h.sc.Opts.DecideEvery + time.Second)
+		h.sched.Schedule(checkAt, "simtest:pause-check", func() {
+			sm := h.model()
+			if sm == nil {
+				return
+			}
+			if !sm.Paused() {
+				h.failf(checkAt, "external %s did not pause optimization within 2 decision ticks",
+					alt.String())
+			}
+		})
+	}
+	if f.UndoAfter > 0 {
+		undoAt := f.At.Add(f.UndoAfter)
+		h.sched.Schedule(undoAt, "simtest:external-undo", func() {
+			h.logEvent(undoAt, "fault: external undo "+undo.String())
+			_ = h.acct.Alter(h.name, undo, chaosActor)
+		})
+		if h.sc.SoleExternal && started {
+			checkAt := undoAt.Add(2*h.sc.Opts.DecideEvery + time.Second)
+			h.sched.Schedule(checkAt, "simtest:unpause-check", func() {
+				sm := h.model()
+				if sm == nil {
+					return
+				}
+				if sm.Paused() {
+					h.failf(checkAt, "optimization still paused 2 ticks after the external change was undone")
+				}
+			})
+		}
+	}
+}
+
+// scheduleSpikeSLA arms the monitor-detection check for a spike fault: a
+// probe just before the spike decides whether detection is realistically
+// expected (baselines warm, spike rate far above threshold), and a check
+// a few decision ticks after the spike asserts the monitor flagged
+// degradation.
+func (h *harness) scheduleSpikeSLA(f Fault) {
+	probeAt := f.At.Add(-time.Millisecond)
+	var armed bool
+	var degradedBefore int
+	h.sched.Schedule(probeAt, "simtest:spike-probe", func() {
+		sm := h.model()
+		if sm == nil || !h.engineStarted || sm.Paused() {
+			return
+		}
+		mon := sm.Monitor()
+		if mon.Windows() < mon.Config().MinBaselineWindows {
+			return
+		}
+		base := mon.Peek(probeAt).BaselineQPH
+		if base <= 0 {
+			return
+		}
+		if !h.wh.Running() && !h.wh.Config().AutoResume {
+			return
+		}
+		// At least half the spike lands inside one observation window;
+		// require 1.5x headroom over the load-spike threshold.
+		windowH := mon.Window().Hours()
+		halfQPH := float64(f.Count) / 2 / windowH
+		if halfQPH < 1.5*mon.Config().LoadSpikeFactor*base {
+			return
+		}
+		armed = true
+		degradedBefore = sm.DegradedTicks()
+	})
+	checkAt := f.At.Add(f.Over + 3*h.sc.Opts.DecideEvery + time.Second)
+	h.sched.Schedule(checkAt, "simtest:spike-check", func() {
+		if !armed {
+			return
+		}
+		sm := h.model()
+		if sm == nil {
+			return
+		}
+		if sm.DegradedTicks() <= degradedBefore {
+			h.failf(checkAt,
+				"monitor missed injected spike (%d queries over %s at %s): no degraded tick within 3 decision windows",
+				f.Count, f.Over, f.At.Format("15:04:05"))
+		}
+	})
+}

@@ -1,0 +1,414 @@
+package simtest
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"time"
+
+	"kwo/internal/actuator"
+	"kwo/internal/cdw"
+	"kwo/internal/policy"
+	"kwo/internal/telemetry"
+)
+
+// closeEnough compares credits with a relative tolerance: the aggregates
+// we cross-check sum the same float terms in different orders.
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+// ---------------------------------------------------------------------
+// cdw.Listener: per-record checks, run on every emission.
+
+// OnQuery implements cdw.Listener: every completed query must be
+// internally consistent.
+func (h *harness) OnQuery(r cdw.QueryRecord) {
+	if r.StartTime.Before(r.SubmitTime) {
+		h.failf(r.EndTime, "query %d started %s before it was submitted %s",
+			r.QueryID, r.StartTime, r.SubmitTime)
+	}
+	if r.EndTime.Before(r.StartTime) {
+		h.failf(r.EndTime, "query %d ended before it started", r.QueryID)
+	}
+	if r.QueueDuration != r.StartTime.Sub(r.SubmitTime) ||
+		r.ExecDuration != r.EndTime.Sub(r.StartTime) {
+		h.failf(r.EndTime, "query %d durations disagree with its timestamps", r.QueryID)
+	}
+	if !r.Size.Valid() || r.Clusters < 1 {
+		h.failf(r.EndTime, "query %d ran on invalid capacity (size %v, %d clusters)",
+			r.QueryID, r.Size, r.Clusters)
+	}
+}
+
+// OnChange implements cdw.Listener: the audit log must never record a
+// transition into an invalid configuration.
+func (h *harness) OnChange(c cdw.ConfigChange) {
+	h.logEvent(c.Time, fmt.Sprintf("config change by %s: %s", c.Actor, c.Statement))
+	if err := c.After.Validate(); err != nil {
+		h.failf(c.Time, "audit log records invalid configuration: %v", err)
+	}
+	if !c.After.AutoResume {
+		h.autoResumeOn = false
+	}
+}
+
+// OnWarehouseEvent implements cdw.Listener.
+func (h *harness) OnWarehouseEvent(e cdw.WarehouseEvent) {
+	h.logEvent(e.Time, fmt.Sprintf("%v (clusters=%d)", e.Kind, e.Clusters))
+	switch e.Kind {
+	case cdw.EventSuspend:
+		if e.Clusters != 0 {
+			h.failf(e.Time, "suspend event reports %d clusters still up", e.Clusters)
+		}
+	case cdw.EventResume, cdw.EventClusterStart:
+		if e.Clusters < 1 {
+			h.failf(e.Time, "%v event reports %d clusters", e.Kind, e.Clusters)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Cheap per-event state checks.
+
+// cheapCheck runs after every scheduler step: O(1) structural state
+// invariants of the warehouse.
+func (h *harness) cheapCheck() {
+	w := h.wh
+	now := h.sched.Now()
+	cfg := w.Config()
+	if w.Running() {
+		if w.ActiveClusters() < cfg.MinClusters {
+			h.failf(now, "running with %d clusters, below MIN_CLUSTER_COUNT=%d",
+				w.ActiveClusters(), cfg.MinClusters)
+		}
+		if nd := w.ActiveClusters() - w.DrainingClusters(); nd > cfg.MaxClusters {
+			h.failf(now, "%d non-draining clusters exceed MAX_CLUSTER_COUNT=%d",
+				nd, cfg.MaxClusters)
+		}
+	} else {
+		if w.ActiveClusters() != 0 {
+			h.failf(now, "suspended warehouse has %d clusters running", w.ActiveClusters())
+		}
+		if w.RunningQueries() != 0 {
+			h.failf(now, "suspended warehouse has %d queries executing", w.RunningQueries())
+		}
+	}
+	if w.QueueLength() > maxQueue {
+		h.failf(now, "queue exploded past %d entries", maxQueue)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Periodic expensive sweeps.
+
+func (h *harness) sweep(now time.Time) {
+	h.checkMeter(now)
+	h.checkBillingRows(now)
+	h.checkAudit(now)
+	h.checkInvoices(now)
+	h.checkEnforcementSLA(now)
+}
+
+// checkMeter is billing conservation: the per-segment ledger, the hourly
+// aggregation, and the range query must all describe the same credits,
+// and every cluster run must bill at least the 60-second minimum with no
+// overlapping intervals.
+func (h *harness) checkMeter(now time.Time) {
+	m := h.wh.Meter()
+	total := m.TotalCredits(now)
+	if total+1e-9 < h.prevCredits {
+		h.failf(now, "total credits decreased: %.9f -> %.9f", h.prevCredits, total)
+	}
+	h.prevCredits = total
+
+	// far reaches past every pending 60s minimum so open segments are
+	// fully covered by the bucketed views.
+	far := now.Add(2 * cdw.MinBilledClusterTime)
+	var sumHourly float64
+	for _, r := range m.Hourly(h.start, far, now) {
+		if !r.HourStart.Equal(r.HourStart.Truncate(time.Hour)) {
+			h.failf(now, "hourly row not hour-aligned: %v", r.HourStart)
+		}
+		if r.Credits < 0 {
+			h.failf(now, "negative hourly credits %v at %v", r.Credits, r.HourStart)
+		}
+		sumHourly += r.Credits
+	}
+	if !closeEnough(sumHourly, total) {
+		h.failf(now, "billing conservation: sum(hourly)=%.9f != total=%.9f", sumHourly, total)
+	}
+	if cb := m.CreditsBetween(h.start, far, now); !closeEnough(cb, total) {
+		h.failf(now, "billing conservation: CreditsBetween=%.9f != total=%.9f", cb, total)
+	}
+
+	// Per-cluster-run segment geometry. Cluster IDs are never reused, so
+	// grouping by ID reconstructs runs.
+	segs := m.Segments(now)
+	runs := make(map[int][]cdw.MeterSegment)
+	var ids []int
+	for _, s := range segs {
+		if _, seen := runs[s.ClusterID]; !seen {
+			ids = append(ids, s.ClusterID)
+		}
+		runs[s.ClusterID] = append(runs[s.ClusterID], s)
+	}
+	const slack = time.Microsecond
+	for _, id := range ids {
+		run := runs[id]
+		if !run[0].MinimumApplied {
+			h.failf(now, "cluster %d: run-opening segment lacks the 60s-minimum marker", id)
+		}
+		var billed time.Duration
+		for i, s := range run {
+			end := s.BilledEnd()
+			if end.Before(s.Start) {
+				h.failf(now, "cluster %d: segment billed end precedes start", id)
+			}
+			billed += end.Sub(s.Start)
+			if i > 0 {
+				prevEnd := run[i-1].BilledEnd()
+				if s.Start.Add(slack).Before(prevEnd) {
+					h.failf(now, "cluster %d: billed intervals overlap (segment %d starts %s before previous ends %s) — double billing",
+						id, i, s.Start, prevEnd)
+				}
+			}
+		}
+		if billed+slack < cdw.MinBilledClusterTime {
+			h.failf(now, "cluster %d: run billed only %s, under the 60s minimum", id, billed)
+		}
+	}
+}
+
+// checkBillingRows re-derives every newly ingested billing-history row
+// from the meter: the engine's periodic pull must agree with the ledger.
+func (h *harness) checkBillingRows(now time.Time) {
+	log := h.store.Log(h.name)
+	if log == nil {
+		return
+	}
+	rows := log.Billing
+	newRows := rows[h.billingIdx:]
+	h.billingIdx = len(rows)
+	// Bound per-sweep recompute work; the first pull ingests a long
+	// zero-credit history tail that is cheap to spot-check.
+	if len(newRows) > 16 {
+		for _, r := range newRows[:len(newRows)-16] {
+			if r.Credits < 0 {
+				h.failf(now, "ingested billing row at %v has negative credits", r.HourStart)
+			}
+		}
+		newRows = newRows[len(newRows)-16:]
+	}
+	m := h.wh.Meter()
+	for _, r := range newRows {
+		want := m.Hourly(r.HourStart, r.HourStart.Add(time.Hour), now)
+		if len(want) != 1 {
+			h.failf(now, "meter returned %d rows for a single hour", len(want))
+			continue
+		}
+		if !closeEnough(r.Credits, want[0].Credits) {
+			h.failf(now, "billing history row %v: ingested %.9f credits, meter says %.9f",
+				r.HourStart, r.Credits, want[0].Credits)
+		}
+	}
+}
+
+// checkAudit pairs every KWO-actor audit row with its actuator record
+// and holds each reason class to its own rule: discretionary changes and
+// restores must respect active prohibitions and enforcement bounds;
+// enforcement itself must land on a compliant configuration.
+func (h *harness) checkAudit(now time.Time) {
+	if h.eng == nil {
+		return
+	}
+	changes := h.acct.Changes()
+	recs := h.eng.Actuator().Log()
+	ai := h.actIdx
+	for _, c := range changes[h.auditIdx:] {
+		if c.Actor != actuator.Actor {
+			continue
+		}
+		for ai < len(recs) && !recs[ai].Applied {
+			ai++
+		}
+		if ai >= len(recs) {
+			h.failf(now, "KWO audit row at %v has no actuator record", c.Time)
+			break
+		}
+		rec := recs[ai]
+		ai++
+		if !rec.Time.Equal(c.Time) {
+			h.failf(now, "actuator record time %v disagrees with audit row time %v", rec.Time, c.Time)
+		}
+		rules := h.rulesAt(c.Time)
+		switch rec.Reason {
+		case "smart-model", "revert", "constraint-restore":
+			h.checkChangeRespectsRules(rules, c, rec.Reason)
+		case "constraint":
+			if req := rules.Required(c.Time, c.After); !req.IsZero() {
+				h.failf(c.Time, "constraint enforcement left configuration non-compliant (still requires %s)",
+					req.String())
+			}
+		default:
+			h.failf(c.Time, "KWO change with unknown reason %q", rec.Reason)
+		}
+	}
+	h.auditIdx = len(changes)
+	h.actIdx = ai
+}
+
+// checkChangeRespectsRules is an independent re-derivation of
+// policy.Constraints.Allows over an audit row: no discretionary KWO
+// change may violate a prohibition or enforcement bound active at its
+// timestamp.
+func (h *harness) checkChangeRespectsRules(rules policy.Constraints, c cdw.ConfigChange, reason string) {
+	for _, r := range rules {
+		if !r.ActiveAt(c.Time) {
+			continue
+		}
+		bad := func(msg string) {
+			h.failf(c.Time, "%s change violates rule %q: %s (%s)", reason, r.Name, msg, c.Statement)
+		}
+		if r.NoDownsize && c.After.Size < c.Before.Size {
+			bad("downsized during a no-downsize window")
+		}
+		if r.NoUpsize && c.After.Size > c.Before.Size {
+			bad("upsized during a no-upsize window")
+		}
+		if r.NoSuspendChange && c.After.AutoSuspend != c.Before.AutoSuspend {
+			bad("changed auto-suspend during a no-suspend-change window")
+		}
+		if r.NoClusterChange && (c.After.MinClusters != c.Before.MinClusters ||
+			c.After.MaxClusters != c.Before.MaxClusters) {
+			bad("changed cluster bounds during a no-cluster-change window")
+		}
+		if r.MinSize != nil && c.After.Size < *r.MinSize {
+			bad("landed below the enforced minimum size")
+		}
+		if r.MaxSize != nil && c.After.Size > *r.MaxSize {
+			bad("landed above the enforced maximum size")
+		}
+		if r.MinClusters != nil && c.After.MaxClusters < *r.MinClusters {
+			bad("landed below the enforced cluster minimum")
+		}
+		if r.EnforceSize != nil && c.After.Size != *r.EnforceSize {
+			bad("landed off the enforced size")
+		}
+	}
+}
+
+// checkInvoices validates value-based pricing: internal consistency,
+// actuals that match the meter, and billing periods that tile the time
+// axis with no gaps or overlaps.
+func (h *harness) checkInvoices(now time.Time) {
+	if h.eng == nil {
+		return
+	}
+	invs := h.eng.Ledger().Invoices()
+	m := h.wh.Meter()
+	for i := h.invoiceIdx; i < len(invs); i++ {
+		inv := invs[i]
+		if err := inv.Validate(); err != nil {
+			h.failf(inv.To, "invoice invalid: %v", err)
+		}
+		if actual := m.CreditsBetween(inv.From, inv.To, now); !closeEnough(actual, inv.ActualCredits) {
+			h.failf(inv.To, "invoice actual %.9f disagrees with meter %.9f for [%v, %v)",
+				inv.ActualCredits, actual, inv.From, inv.To)
+		}
+		if i > 0 && !inv.From.Equal(invs[i-1].To) {
+			h.failf(inv.To, "billing periods do not tile: invoice %d starts %v, previous ended %v",
+				i, inv.From, invs[i-1].To)
+		}
+		if d := inv.To.Sub(inv.From); d != h.sc.Opts.BillEvery {
+			h.failf(inv.To, "billing period %v is not BillEvery=%v", d, h.sc.Opts.BillEvery)
+		}
+	}
+	h.invoiceIdx = len(invs)
+}
+
+// checkEnforcementSLA asserts that while the engine is attached, started
+// and not externally paused, an active enforcement window never leaves
+// the configuration non-compliant for longer than a few decision ticks.
+func (h *harness) checkEnforcementSLA(now time.Time) {
+	grace := 3*h.sc.Opts.DecideEvery + 2*h.sc.CheckEvery
+	sm := h.model()
+	if sm == nil || !h.engineStarted || now.Before(h.attachAt.Add(h.sc.Opts.DecideEvery)) ||
+		sm.Paused() {
+		h.nonCompliantSince = time.Time{}
+		return
+	}
+	req := h.rulesAt(now).Required(now, h.wh.Config())
+	if req.IsZero() {
+		h.nonCompliantSince = time.Time{}
+		return
+	}
+	if h.nonCompliantSince.IsZero() {
+		h.nonCompliantSince = now
+		return
+	}
+	if now.Sub(h.nonCompliantSince) > grace {
+		h.failf(now, "enforcement SLA: configuration non-compliant since %v (still requires %s)",
+			h.nonCompliantSince.Format("Mon 15:04:05"), req.String())
+	}
+}
+
+// ---------------------------------------------------------------------
+// End-of-run checks.
+
+func (h *harness) finalChecks(horizon time.Time) {
+	h.sweep(horizon)
+
+	w := h.wh
+	if w.QueueLength() != 0 || w.RunningQueries() != 0 {
+		h.failf(horizon, "queue did not drain: %d queued, %d executing after %s of drain",
+			w.QueueLength(), w.RunningQueries(), h.sc.Drain)
+	}
+
+	_, _, _, completed := w.Stats()
+	rejected := h.scheduled - completed
+	if rejected < 0 {
+		h.failf(horizon, "more queries completed (%d) than were scheduled (%d)",
+			completed, h.scheduled)
+	}
+	if h.autoResumeOn && rejected > 0 {
+		h.failf(horizon, "%d queries rejected although auto-resume stayed enabled", rejected)
+	}
+
+	// Savings must never exceed the counterfactual: cumulative ledger
+	// savings bounded by cumulative estimates.
+	if h.eng != nil {
+		var savings, without float64
+		for _, inv := range h.eng.Ledger().Invoices() {
+			savings += inv.Savings
+			without += inv.EstimatedWithoutKeebo
+		}
+		if savings > without+1e-9 {
+			h.failf(horizon, "ledger savings %.9f exceed the estimated without-KWO spend %.9f",
+				savings, without)
+		}
+	}
+
+	// Snapshot round-trip: serialize, parse, re-serialize, compare.
+	snap, err := h.store.SnapshotBytes()
+	if err != nil {
+		h.failf(horizon, "snapshot write: %v", err)
+		return
+	}
+	restored, err := telemetry.ReadSnapshot(bytes.NewReader(snap))
+	if err != nil {
+		h.failf(horizon, "snapshot read-back: %v", err)
+		return
+	}
+	again, err := restored.SnapshotBytes()
+	if err != nil {
+		h.failf(horizon, "snapshot re-write: %v", err)
+		return
+	}
+	if !bytes.Equal(snap, again) {
+		h.failf(horizon, "snapshot round-trip is not byte-identical (%d vs %d bytes)",
+			len(snap), len(again))
+	}
+}

@@ -1,0 +1,324 @@
+// Package simtest is a seeded end-to-end simulation-test harness. Each
+// scenario composes a randomized warehouse configuration, workload mix,
+// constraint schedule, slider position, engine options, and injected
+// faults (query spikes, stalled queues, external ALTER WAREHOUSE
+// changes, billing-hour-boundary suspend/resume races), drives the real
+// core.Engine over the cdw simulator to completion, and checks a
+// library of cross-cutting invariants after every simulated event.
+//
+// Everything derives deterministically from one int64 seed, so any
+// failure reproduces with:
+//
+//	go test ./internal/simtest -run 'TestSim' -seed=N -v
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/core"
+	"kwo/internal/policy"
+	"kwo/internal/simclock"
+	"kwo/internal/workload"
+)
+
+// FaultKind enumerates the injectable faults.
+type FaultKind int
+
+const (
+	// FaultSpike is a dense pulse of queries far above the baseline
+	// arrival rate; the monitor must flag it within a few decision ticks.
+	FaultSpike FaultKind = iota
+	// FaultStall clumps long-running queries so the queue backs up; the
+	// queue must still fully drain by the end of the run.
+	FaultStall
+	// FaultExternalAlter is an ALTER WAREHOUSE by a non-KWO actor; the
+	// engine must pause optimization until the change is undone (§4.4).
+	FaultExternalAlter
+	// FaultBoundaryRace suspends and resumes the warehouse across a
+	// clock-hour boundary, exercising the 60-second billing minimum
+	// straddling an hourly-aggregation edge.
+	FaultBoundaryRace
+	// FaultSliderMove changes the slider position mid-run.
+	FaultSliderMove
+	// FaultConstraintSwap replaces the constraint rules mid-run.
+	FaultConstraintSwap
+)
+
+// String names the fault kind for failure reports.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSpike:
+		return "spike"
+	case FaultStall:
+		return "stall"
+	case FaultExternalAlter:
+		return "external-alter"
+	case FaultBoundaryRace:
+		return "boundary-race"
+	case FaultSliderMove:
+		return "slider-move"
+	case FaultConstraintSwap:
+		return "constraint-swap"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled disturbance. Which fields matter depends on
+// Kind.
+type Fault struct {
+	Kind FaultKind
+	At   time.Time
+
+	// Spike / stall shape.
+	Count    int
+	Over     time.Duration
+	WorkSecs float64
+
+	// External alteration: which knob to turn (0 size, 1 auto-suspend,
+	// 2 max clusters, 3 scaling policy), and when to undo it (0 = never).
+	AlterPick int
+	UndoAfter time.Duration
+
+	// Mid-run setting changes.
+	Slider policy.Slider
+	Rules  policy.Constraints
+}
+
+func (f Fault) describe() string {
+	switch f.Kind {
+	case FaultSpike:
+		return fmt.Sprintf("%s spike at %s: %d queries over %s",
+			f.At.Weekday(), f.At.Format("15:04:05"), f.Count, f.Over)
+	case FaultStall:
+		return fmt.Sprintf("stall at %s: %d queries of ~%.0fs",
+			f.At.Format("15:04:05"), f.Count, f.WorkSecs)
+	case FaultExternalAlter:
+		return fmt.Sprintf("external alter (knob %d) at %s, undo after %s",
+			f.AlterPick, f.At.Format("15:04:05"), f.UndoAfter)
+	case FaultBoundaryRace:
+		return fmt.Sprintf("hour-boundary suspend/resume race near %s", f.At.Format("15:04:05"))
+	case FaultSliderMove:
+		return fmt.Sprintf("slider -> %v at %s", f.Slider, f.At.Format("15:04:05"))
+	case FaultConstraintSwap:
+		return fmt.Sprintf("constraint swap (%d rules) at %s", len(f.Rules), f.At.Format("15:04:05"))
+	default:
+		return f.Kind.String()
+	}
+}
+
+// Scenario is one fully specified end-to-end run. All fields derive from
+// the seed via GenerateScenario, so a Scenario never needs to be
+// serialized: the seed is the repro.
+type Scenario struct {
+	Seed   int64
+	Params cdw.SimParams
+
+	Warehouse cdw.Config
+	Slider    policy.Slider
+	Rules     policy.Constraints
+	Opts      core.Options
+
+	// PreRun is unoptimized history before KWO attaches; Run is the
+	// optimized span; Drain is extra time for in-flight work to finish
+	// after the engine stops.
+	PreRun, Run, Drain time.Duration
+	// CheckEvery is the cadence of the expensive invariant sweeps.
+	CheckEvery time.Duration
+
+	Gens   []workload.Generator
+	Faults []Fault
+
+	// SoleExternal is true when exactly one fault can trigger the
+	// external-change pause, making pause/unpause assertions unambiguous.
+	SoleExternal bool
+	// SpikePool supplies templates for injected spikes.
+	SpikePool *workload.Pool
+}
+
+// GenerateScenario derives a randomized scenario from the seed. soak
+// stretches the simulated spans for the long-running mode.
+func GenerateScenario(seed int64, soak bool) Scenario {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eedc0de))
+	biPool, etlPool, adhocPool := workload.StandardPools()
+
+	maxC := 1 + rng.Intn(3)
+	minC := 1
+	if maxC > 1 && rng.Intn(4) == 0 {
+		minC = 1 + rng.Intn(maxC)
+	}
+	pol := cdw.ScaleStandard
+	if rng.Intn(3) == 0 {
+		pol = cdw.ScaleEconomy
+	}
+	suspends := []time.Duration{0, 2 * time.Minute, 5 * time.Minute, 10 * time.Minute, 30 * time.Minute}
+	asus := suspends[1+rng.Intn(4)]
+	if rng.Intn(10) == 0 {
+		asus = 0 // never suspends: the always-on pathological case
+	}
+	cfg := cdw.Config{
+		Name:        "SIM_WH",
+		Size:        cdw.SizeXSmall + cdw.Size(rng.Intn(5)),
+		MinClusters: minC,
+		MaxClusters: maxC,
+		Policy:      pol,
+		AutoSuspend: asus,
+		AutoResume:  rng.Float64() < 0.9,
+	}
+
+	opts := core.DefaultOptions()
+	opts.DecideEvery = []time.Duration{5, 10, 15}[rng.Intn(3)] * time.Minute
+	opts.TrainEvery = time.Duration(2+rng.Intn(3)) * time.Hour
+	opts.BillEvery = []time.Duration{6, 8, 12}[rng.Intn(3)] * time.Hour
+	opts.HistoryWindow = 7 * 24 * time.Hour
+	opts.PretrainSteps = 12
+	opts.WarmupWindows = 3
+	// The harness exercises safety invariants, not RL quality; a small
+	// network keeps 500 seeds affordable under -race on one core.
+	opts.RL.Hidden = 8
+	opts.RL.BatchSize = 16
+	opts.RampStepHours = []float64{0, 12}[rng.Intn(2)]
+
+	pre := 3*time.Hour + time.Duration(rng.Intn(4*60))*time.Minute
+	run := 14*time.Hour + time.Duration(rng.Intn(10*60))*time.Minute
+	if soak {
+		pre = 6*time.Hour + time.Duration(rng.Intn(12*60))*time.Minute
+		run = 3*24*time.Hour + time.Duration(rng.Intn(4*24*60))*time.Minute
+	}
+
+	var gens []workload.Generator
+	nGens := 1 + rng.Intn(2)
+	picks := rng.Perm(3)[:nGens]
+	for _, p := range picks {
+		switch p {
+		case 0:
+			gens = append(gens, workload.BI{
+				Pool: biPool, PeakQPH: 8 + rng.Float64()*22, WeekendFactor: 0.2,
+			})
+		case 1:
+			gens = append(gens, workload.ETL{
+				Pool:         etlPool,
+				Period:       time.Duration(1+rng.Intn(2)) * time.Hour,
+				Offset:       time.Duration(rng.Intn(40)) * time.Minute,
+				JobsPerBatch: 2 + rng.Intn(4),
+				Jitter:       10 * time.Minute,
+			})
+		case 2:
+			gens = append(gens, workload.AdHoc{
+				Pool: adhocPool, BaseQPH: 2 + rng.Float64()*5, DayVariance: 0.6,
+				BurstsPerDay: 1.5, BurstQPH: 30, BurstLen: 10 * time.Minute,
+			})
+		}
+	}
+
+	sc := Scenario{
+		Seed:       seed,
+		Params:     cdw.DefaultSimParams(),
+		Warehouse:  cfg,
+		Slider:     policy.Slider(1 + rng.Intn(5)),
+		Rules:      randomRules(rng, cfg),
+		Opts:       opts,
+		PreRun:     pre,
+		Run:        run,
+		Drain:      8 * time.Hour,
+		CheckEvery: 30 * time.Minute,
+		Gens:       gens,
+		SpikePool:  biPool,
+	}
+
+	start := simclock.Epoch
+	attach := start.Add(pre)
+	end := start.Add(pre + run)
+	lo, hi := attach.Add(150*time.Minute), end.Add(-3*time.Hour)
+	externals := 0
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		at := lo.Add(time.Duration(rng.Int63n(int64(hi.Sub(lo)))))
+		f := Fault{At: at}
+		switch roll := rng.Float64(); {
+		case roll < 0.25:
+			f.Kind = FaultSpike
+			f.Count = 240 + rng.Intn(360)
+			f.Over = time.Duration(4+rng.Intn(6)) * time.Minute
+		case roll < 0.45:
+			f.Kind = FaultStall
+			f.Count = 24 + rng.Intn(24)
+			f.WorkSecs = 60 + rng.Float64()*120
+		case roll < 0.65:
+			f.Kind = FaultExternalAlter
+			f.AlterPick = rng.Intn(4)
+			if rng.Float64() < 0.7 {
+				f.UndoAfter = time.Hour + time.Duration(rng.Intn(60))*time.Minute
+			}
+			externals++
+		case roll < 0.80:
+			f.Kind = FaultBoundaryRace
+			externals++
+		case roll < 0.90:
+			f.Kind = FaultSliderMove
+			f.Slider = policy.Slider(1 + rng.Intn(5))
+		default:
+			f.Kind = FaultConstraintSwap
+			f.Rules = randomRules(rng, cfg)
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	sc.SoleExternal = externals == 1
+	return sc
+}
+
+// randomRules builds a valid constraint set (possibly empty): time
+// windows — some wrapping midnight, some day-restricted — carrying
+// either a prohibition or a single enforcement.
+func randomRules(rng *rand.Rand, cfg cdw.Config) policy.Constraints {
+	if rng.Float64() < 0.45 {
+		return nil
+	}
+	var cs policy.Constraints
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		r := policy.Rule{Name: fmt.Sprintf("rule-%d", i)}
+		if rng.Float64() < 0.75 {
+			r.StartMinute = rng.Intn(24 * 60)
+			r.EndMinute = (r.StartMinute + 60 + rng.Intn(7*60)) % (24 * 60)
+			if r.StartMinute == 0 && r.EndMinute == 0 {
+				r.EndMinute = 600
+			}
+		}
+		if rng.Float64() < 0.3 {
+			for d, nd := 0, 1+rng.Intn(3); d < nd; d++ {
+				r.Days = append(r.Days, time.Weekday(rng.Intn(7)))
+			}
+		}
+		switch rng.Intn(8) {
+		case 0:
+			r.NoDownsize = true
+		case 1:
+			r.NoUpsize = true
+		case 2:
+			r.NoSuspendChange = true
+		case 3:
+			r.NoClusterChange = true
+		case 4:
+			r.MinSize = cdw.SizeP(cfg.Size.Clamp(cdw.MinSize, cdw.MaxSize))
+		case 5:
+			r.MaxSize = cdw.SizeP(cfg.Size.Up())
+		case 6:
+			s := cfg.Size
+			if rng.Intn(2) == 0 {
+				s = s.Up()
+			} else {
+				s = s.Down()
+			}
+			r.EnforceSize = cdw.SizeP(s)
+		default:
+			r.MinClusters = cdw.IntP(2 + rng.Intn(2))
+		}
+		cs = append(cs, r)
+	}
+	if cs.Validate() != nil {
+		return nil
+	}
+	return cs
+}

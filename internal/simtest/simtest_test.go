@@ -1,0 +1,100 @@
+package simtest
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+var seedFlag = flag.Int64("seed", -1, "run only the scenario for this seed, verbosely")
+
+// soakMode reports whether the long-running soak mode is enabled via
+// KWO_SIMTEST_SOAK. The value, when numeric, overrides the seed count.
+func soakMode() (bool, int) {
+	v := os.Getenv("KWO_SIMTEST_SOAK")
+	if v == "" {
+		return false, 0
+	}
+	if n, err := strconv.Atoi(v); err == nil && n > 0 {
+		return true, n
+	}
+	return true, 64
+}
+
+// TestSim drives randomized end-to-end scenarios through the real engine
+// over the cdw simulator and checks cross-cutting invariants after every
+// simulated event. Every 8th seed is run twice to assert determinism.
+func TestSim(t *testing.T) {
+	if *seedFlag >= 0 {
+		sc := GenerateScenario(*seedFlag, os.Getenv("KWO_SIMTEST_SOAK") != "")
+		t.Logf("scenario: %+v", sc)
+		for _, f := range sc.Faults {
+			t.Logf("fault: %s", f.describe())
+		}
+		res := RunScenario(sc)
+		t.Logf("steps=%d scheduled=%d completed=%d credits=%.4f audit=%d applied=%d invoices=%d",
+			res.Steps, res.Scheduled, res.Completed, res.TotalCredits,
+			res.AuditRows, res.AppliedActions, res.Invoices)
+		if res.Failed() {
+			t.Fatal(res.Report())
+		}
+		return
+	}
+
+	seeds := 500
+	soak, n := soakMode()
+	if soak {
+		seeds = n
+	}
+	if testing.Short() && !soak {
+		seeds = 120
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := GenerateScenario(seed, soak)
+			res := RunScenario(sc)
+			if res.Failed() {
+				t.Fatal(res.Report())
+			}
+			if seed%8 == 0 {
+				again := RunScenario(GenerateScenario(seed, soak))
+				compareRuns(t, res, again)
+			}
+		})
+	}
+}
+
+// compareRuns asserts the determinism fingerprint: the same seed must
+// reproduce the identical simulation, byte for byte.
+func compareRuns(t *testing.T, a, b *Result) {
+	t.Helper()
+	if b.Failed() {
+		t.Fatalf("re-run failed where first run passed:\n%s", b.Report())
+	}
+	if a.Steps != b.Steps {
+		t.Errorf("non-deterministic step count: %d vs %d", a.Steps, b.Steps)
+	}
+	if a.TotalCredits != b.TotalCredits {
+		t.Errorf("non-deterministic credits: %.12f vs %.12f", a.TotalCredits, b.TotalCredits)
+	}
+	if a.AuditRows != b.AuditRows || a.AppliedActions != b.AppliedActions {
+		t.Errorf("non-deterministic action trail: audit %d/%d applied %d/%d",
+			a.AuditRows, b.AuditRows, a.AppliedActions, b.AppliedActions)
+	}
+	if a.Invoices != b.Invoices {
+		t.Errorf("non-deterministic invoice count: %d vs %d", a.Invoices, b.Invoices)
+	}
+	if a.Scheduled != b.Scheduled || a.Completed != b.Completed {
+		t.Errorf("non-deterministic workload: scheduled %d/%d completed %d/%d",
+			a.Scheduled, b.Scheduled, a.Completed, b.Completed)
+	}
+	if !bytes.Equal(a.Snapshot, b.Snapshot) {
+		t.Errorf("non-deterministic telemetry snapshot: %d vs %d bytes",
+			len(a.Snapshot), len(b.Snapshot))
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -133,6 +134,17 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// SnapshotBytes serializes the store to an in-memory snapshot. Two
+// stores with identical telemetry produce byte-identical output, which
+// is the determinism oracle the simulation tests rely on.
+func (s *Store) SnapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // ReadSnapshot parses a snapshot into a fresh Store.

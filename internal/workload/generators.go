@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -327,6 +328,48 @@ func (m Mixed) Generate(from, to time.Time, rng *rand.Rand) []Arrival {
 		// reordering of parts.
 		sub := rand.New(rand.NewSource(rng.Int63() + int64(i)))
 		out = append(out, g.Generate(from, to, sub)...)
+	}
+	sortArrivals(out)
+	return out
+}
+
+// Stall injects a clump of long-running queries at one instant — far
+// more work than the warehouse has slots, so the queue backs up and
+// stays backed up for a while. Fault-injection tests use it to assert
+// that queued work always drains (no dispatch deadlock) and that the
+// monitor flags the queueing.
+type Stall struct {
+	At       time.Time
+	Count    int
+	WorkSecs float64 // warm X-Small execution seconds per query
+}
+
+// Name implements Generator.
+func (s Stall) Name() string { return "stall" }
+
+// Generate implements Generator.
+func (s Stall) Generate(from, to time.Time, rng *rand.Rand) []Arrival {
+	if s.At.Before(from) || !s.At.Before(to) || s.Count <= 0 {
+		return nil
+	}
+	work := s.WorkSecs
+	if work <= 0 {
+		work = 120
+	}
+	var out []Arrival
+	for i := 0; i < s.Count; i++ {
+		q := cdw.Query{
+			TextHash:     hash64(fmt.Sprintf("stall-query-%d", i)),
+			TemplateHash: hash64("template:stall"),
+			UserHash:     UserHash("stall-user"),
+			Work:         work * (0.75 + 0.5*rng.Float64()),
+			ScaleExp:     0.9,
+			ColdFactor:   0.5,
+			BytesScanned: 4 << 30,
+		}
+		// Sub-second spread keeps arrival order deterministic while
+		// avoiding a single mega-batch event.
+		out = append(out, Arrival{At: s.At.Add(time.Duration(i) * 10 * time.Millisecond), Query: q})
 	}
 	sortArrivals(out)
 	return out

@@ -2,6 +2,7 @@ package kwo
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -40,6 +41,12 @@ func NewSimulationWithParams(seed int64, params SimParams) *Simulation {
 	acct.Subscribe(store)
 	return &Simulation{sched: sched, acct: acct, start: sched.Now(), store: store}
 }
+
+// WriteSnapshot serializes the simulation's full telemetry (queries,
+// events, config changes, billing) as JSON lines. Identical seeds and
+// inputs produce byte-identical snapshots, so the output doubles as a
+// determinism fingerprint.
+func (s *Simulation) WriteSnapshot(w io.Writer) error { return s.store.WriteSnapshot(w) }
 
 // Start returns the simulation's start time.
 func (s *Simulation) Start() time.Time { return s.start }
