@@ -83,6 +83,7 @@ func main() {
 			*workloadName, n, *preDays+*kwoDays, size, slider)
 	}
 
+	wallStart := time.Now()
 	sim.RunFor(time.Duration(*preDays) * 24 * time.Hour)
 	opt := sim.NewOptimizer(kwo.DefaultOptions())
 	if err := opt.Attach("MAIN_WH", kwo.Settings{Slider: slider}); err != nil {
@@ -114,4 +115,8 @@ func main() {
 	fmt.Print(rep)
 	fmt.Printf("\nfinal configuration: %s, clusters %d–%d, auto-suspend %v\n",
 		wh.Config().Size, wh.Config().MinClusters, wh.Config().MaxClusters, wh.Config().AutoSuspend)
+	// Wall-clock goes to stderr so stdout stays byte-deterministic for
+	// a given seed and flags.
+	fmt.Fprintf(os.Stderr, "[simulated %d days (%d queries) in %v wall]\n",
+		*preDays+*kwoDays, n, time.Since(wallStart).Round(time.Millisecond))
 }

@@ -1,0 +1,122 @@
+// Package benchio records benchmark results as a versioned JSON
+// artifact (BENCH_<rev>.json) so the repo's performance trajectory is
+// measurable across PRs instead of anecdotal. A report combines
+// records parsed from `go test -bench` output (ns/op, B/op, allocs/op,
+// custom metrics) with records emitted directly by harnesses such as
+// cmd/kwo-bench (experiment wall-clock and figure metrics).
+//
+// Serialization is deterministic: fields are fixed-order, map keys are
+// sorted by encoding/json, and no timestamps are embedded — two runs
+// that measure the same numbers produce byte-identical files.
+package benchio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full artifact: environment fingerprint plus records in
+// insertion order.
+type Report struct {
+	Rev       string   `json:"rev"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Records   []Record `json:"records"`
+}
+
+// NewReport returns a report stamped with the current toolchain and
+// host fingerprint for revision rev.
+func NewReport(rev string) *Report {
+	return &Report{
+		Rev:       rev,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Add appends a record.
+func (r *Report) Add(rec Record) { r.Records = append(r.Records, rec) }
+
+// WriteTo serializes the report as indented JSON.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// ParseGoBench extracts benchmark records from `go test -bench` output.
+// Lines that are not benchmark results are ignored. The trailing
+// -GOMAXPROCS suffix is kept as part of the name (it is part of the
+// measurement's identity).
+func ParseGoBench(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := Record{Name: fields[0], Iterations: iters}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = v
+			case "B/op":
+				rec.BytesPerOp = v
+			case "allocs/op":
+				rec.AllocsPerOp = v
+			default:
+				if rec.Metrics == nil {
+					rec.Metrics = make(map[string]float64)
+				}
+				rec.Metrics[unit] = v
+			}
+		}
+		if ok {
+			out = append(out, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchio: scanning bench output: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package benchio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: kwo
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkSubmittedBetween-8   	  500000	      2210 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig4a-8              	       1	9876543210 ns/op	        53.20 savings_%
+BenchmarkBroken-8             	   notanint	     1 ns/op
+PASS
+ok  	kwo	12.345s
+`
+
+func TestParseGoBench(t *testing.T) {
+	recs, err := ParseGoBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2: %+v", len(recs), recs)
+	}
+	sb := recs[0]
+	if sb.Name != "BenchmarkSubmittedBetween-8" || sb.Iterations != 500000 ||
+		sb.NsPerOp != 2210 || sb.BytesPerOp != 0 || sb.AllocsPerOp != 0 {
+		t.Fatalf("bad record: %+v", sb)
+	}
+	fig := recs[1]
+	if fig.NsPerOp != 9876543210 || fig.Metrics["savings_%"] != 53.20 {
+		t.Fatalf("bad custom-metric record: %+v", fig)
+	}
+}
+
+func TestReportDeterministicSerialization(t *testing.T) {
+	build := func() *Report {
+		r := NewReport("abc1234")
+		r.Add(Record{Name: "X", NsPerOp: 1,
+			Metrics: map[string]float64{"zeta": 2, "alpha": 1, "mid": 3}})
+		r.Add(Record{Name: "Y", AllocsPerOp: 4})
+		return r
+	}
+	var a, b bytes.Buffer
+	if _, err := build().WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same report serialized differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{`"rev": "abc1234"`, `"ns_per_op": 1`, `"alpha": 1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serialized report missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted map keys: alpha before mid before zeta.
+	if ai, zi := strings.Index(out, "alpha"), strings.Index(out, "zeta"); ai > zi {
+		t.Fatalf("metric keys not sorted:\n%s", out)
+	}
+}

@@ -7,11 +7,20 @@ import (
 	"kwo/internal/action"
 	"kwo/internal/actuator"
 	"kwo/internal/cdw"
+	"kwo/internal/costmodel"
 	"kwo/internal/monitor"
 	"kwo/internal/pricing"
 	"kwo/internal/simclock"
 	"kwo/internal/telemetry"
 )
+
+// replayLag is how far the rolling replay cursor trails the clock.
+// Telemetry only learns a query's submission once the query completes,
+// so advancing the cursor right up to now would make every long query a
+// straggler that forces a rebuild; trailing by an hour keeps rebuilds
+// to queries that run longer than that. Correctness never depends on
+// the lag — the cursor detects stragglers and rebuilds itself.
+const replayLag = time.Hour
 
 // Engine runs Algorithm 1 for every attached warehouse of one account.
 type Engine struct {
@@ -42,6 +51,11 @@ type smState struct {
 	// lastBillingPull is the last completed hour whose billing history
 	// was ingested into the telemetry store.
 	lastBillingPull time.Time
+	// cursor incrementally replays the current billing period so the
+	// period-closing estimate in bill() is O(new records) instead of a
+	// from-scratch pass over the whole period. It is discarded whenever
+	// the model it was built on is retrained or the period rolls over.
+	cursor *costmodel.ReplayCursor
 }
 
 // NewEngine creates an engine over the account. It subscribes its own
@@ -230,6 +244,18 @@ func (e *Engine) tick(st *smState) {
 		st.lastBillingPull = hourNow
 	}
 
+	// Advance the rolling replay cursor a safe distance behind now so
+	// the billing-period estimate amortizes over ticks instead of
+	// re-replaying the whole period when the invoice closes.
+	if log := e.store.Log(sm.Warehouse); log != nil && sm.cost != nil {
+		if st.cursor == nil || st.cursor.Model() != sm.cost {
+			st.cursor = costmodel.NewReplayCursor(sm.cost, log, st.billStart)
+		}
+		if w := now.Add(-replayLag); w.After(st.billStart) {
+			st.cursor.Advance(w)
+		}
+	}
+
 	current := wh.Config()
 	snap := sm.mon.Observe(now)
 	sm.noteSnapshot(snap)
@@ -290,6 +316,7 @@ func (e *Engine) bill(st *smState) {
 	now := e.sched.Now()
 	if sm.cost == nil {
 		st.billStart = now
+		st.cursor = nil
 		return
 	}
 	wh, err := e.acct.Warehouse(sm.Warehouse)
@@ -298,9 +325,18 @@ func (e *Engine) bill(st *smState) {
 	}
 	log := e.store.Log(sm.Warehouse)
 	actual := wh.Meter().CreditsBetween(st.billStart, now, now)
-	without := sm.cost.Replay(log, st.billStart, now).Credits
+	var without float64
+	if st.cursor != nil && st.cursor.Model() == sm.cost && st.cursor.From().Equal(st.billStart) {
+		// The cursor has consumed most of the period during ticks; this
+		// final advance only replays the lagged tail. Its result is
+		// exactly what the from-scratch replay below would compute.
+		without = st.cursor.Advance(now).Credits
+	} else {
+		without = sm.cost.Replay(log, st.billStart, now).Credits
+	}
 	e.ledger.Add(sm.Warehouse, st.billStart, now, actual, without)
 	st.billStart = now
+	st.cursor = nil
 }
 
 // EstimateSavings runs an on-demand what-if estimate for a warehouse

@@ -1,0 +1,83 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/telemetry"
+)
+
+// benchLog builds a 100k-record log (~29 days of traffic) through the
+// real telemetry ingest path so indexes exist, as in production.
+func benchReplayLog(n int) *telemetry.WarehouseLog {
+	rng := rand.New(rand.NewSource(7))
+	s := telemetry.NewStore()
+	at := t0
+	for i := 0; i < n; i++ {
+		at = at.Add(time.Duration(rng.Intn(50)+1) * time.Second)
+		exec := time.Duration(rng.Intn(120)+1) * time.Second
+		s.OnQuery(cdw.QueryRecord{
+			Warehouse: "W", TemplateHash: uint64(rng.Intn(20)),
+			SubmitTime: at, StartTime: at, EndTime: at.Add(exec),
+			ExecDuration: exec, Size: cdw.SizeSmall, Clusters: 1,
+		})
+	}
+	return s.Log("W")
+}
+
+var sinkReplay ReplayResult
+
+const benchReplayN = 100_000
+
+func benchReplaySetup(b *testing.B) (*Model, *telemetry.WarehouseLog, time.Time) {
+	b.Helper()
+	log := benchReplayLog(benchReplayN)
+	cfg := cdw.Config{Name: "W", Size: cdw.SizeSmall, MinClusters: 1,
+		MaxClusters: 2, AutoSuspend: 5 * time.Minute, AutoResume: true}
+	m := Train(log, cfg, t0, t0.Add(48*time.Hour), 8)
+	end := log.Queries[len(log.Queries)-1].EndTime.Add(time.Hour)
+	return m, log, end
+}
+
+// BenchmarkRollingReplayCursor100k is the monitor's real access
+// pattern: the savings window grows by an hour at a time and each
+// refresh replays [start, now). One op is a full rolling sweep over the
+// 100k-record log using the incremental cursor.
+func BenchmarkRollingReplayCursor100k(b *testing.B) {
+	m, log, end := benchReplaySetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := NewReplayCursor(m, log, t0)
+		var r ReplayResult
+		for at := t0.Add(time.Hour); at.Before(end); at = at.Add(time.Hour) {
+			r = cur.Advance(at)
+		}
+		sinkReplay = r
+	}
+}
+
+// BenchmarkRollingReplayScratch100k is the same sweep recomputed from
+// scratch each hour, the pre-cursor behavior.
+func BenchmarkRollingReplayScratch100k(b *testing.B) {
+	m, log, end := benchReplaySetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r ReplayResult
+		for at := t0.Add(time.Hour); at.Before(end); at = at.Add(time.Hour) {
+			r = m.Replay(log, t0, at)
+		}
+		sinkReplay = r
+	}
+}
+
+// BenchmarkReplayFull100k is a single full-window replay, the unit of
+// work the scratch sweep repeats per step.
+func BenchmarkReplayFull100k(b *testing.B) {
+	m, log, end := benchReplaySetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkReplay = m.Replay(log, t0, end)
+	}
+}

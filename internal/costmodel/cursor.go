@@ -1,0 +1,242 @@
+package costmodel
+
+import (
+	"time"
+
+	"kwo/internal/telemetry"
+)
+
+// ReplayCursor incrementally maintains the state of a without-Keebo
+// replay over a growing range [from, to). The engine's rolling savings
+// estimate re-replays its whole billing period on every pass; with a
+// cursor each pass only consumes the records that arrived since the
+// last one, finalizes the mini-windows that can no longer change, and
+// re-prices just the open tail.
+//
+// Advance(to) is guaranteed to return exactly what
+// m.Replay(log, from, to) would return against the same log state —
+// bit-for-bit, including float accumulation order. Two properties make
+// that possible: all finalized quantities are folded in the same order
+// a from-scratch replay folds them, and the cursor re-counts its
+// consumed range on every call so a straggler (a long-running query
+// whose submission only becomes visible once it completes, behind the
+// cursor's watermark) triggers a full rebuild instead of a silent
+// divergence.
+type ReplayCursor struct {
+	m    *Model
+	log  *telemetry.WarehouseLog
+	from time.Time
+	// fallback marks a configuration (auto-suspend disabled) whose
+	// busy-period bridge depends on the range end, which no incremental
+	// state can serve; Advance delegates to from-scratch Replay.
+	fallback    bool
+	autoSuspend time.Duration
+
+	at      time.Time // records submitted in [from, at) are consumed
+	queries int
+
+	cur           *busyPeriod // open busy period, may still extend
+	closed        []billedIv  // billed intervals of closed periods, in order
+	closedActive  float64     // ActiveSeconds fold over closed periods
+	resumesClosed int
+
+	// Per-mini-window arrival stats for not-yet-finalized windows,
+	// keyed by window start (unix seconds). Arrivals are folded in
+	// submission order, matching Replay's per-window accumulation.
+	perWin map[int64]*winArrivals
+
+	nextWin      time.Time // first mini-window not yet finalized
+	creditsFinal float64   // Credits fold over finalized windows
+	billLo       int       // closed[:billLo] end at or before nextWin
+}
+
+type winArrivals struct {
+	n       int
+	sumExec float64
+}
+
+// NewReplayCursor starts a cursor for rolling replays of [from, ...)
+// against log using model m. The log may be nil-free but empty; records
+// are consumed as Advance encounters them.
+func NewReplayCursor(m *Model, log *telemetry.WarehouseLog, from time.Time) *ReplayCursor {
+	c := &ReplayCursor{
+		m:           m,
+		log:         log,
+		from:        from,
+		fallback:    m.Orig.AutoSuspend <= 0,
+		autoSuspend: m.Orig.AutoSuspend,
+	}
+	c.reset()
+	return c
+}
+
+// Model returns the model the cursor replays with; callers that retrain
+// use it to detect a stale cursor.
+func (c *ReplayCursor) Model() *Model { return c.m }
+
+// From returns the fixed start of the cursor's range.
+func (c *ReplayCursor) From() time.Time { return c.from }
+
+func (c *ReplayCursor) reset() {
+	c.at = c.from
+	c.queries = 0
+	c.cur = nil
+	c.closed = c.closed[:0]
+	c.closedActive = 0
+	c.resumesClosed = 0
+	if c.perWin == nil {
+		c.perWin = make(map[int64]*winArrivals)
+	} else {
+		clear(c.perWin)
+	}
+	c.nextWin = c.from.Truncate(MiniWindow)
+	c.creditsFinal = 0
+	c.billLo = 0
+}
+
+// Advance consumes records submitted in [at, to), moves the watermark
+// to to, and returns the replay result for the full range [from, to).
+func (c *ReplayCursor) Advance(to time.Time) ReplayResult {
+	if c.fallback || to.Before(c.at) {
+		// Auto-suspend-disabled bridge or a backward move: no valid
+		// incremental state; answer from scratch without touching it.
+		return c.m.Replay(c.log, c.from, to)
+	}
+	// Straggler check: the telemetry store only learns a query's
+	// submission once the query completes, so a record can appear
+	// behind the watermark between calls. Two binary searches detect
+	// it; a rebuild re-consumes the range and restores equivalence.
+	if len(c.log.SubmittedBetween(c.from, c.at)) != c.queries {
+		c.reset()
+	}
+
+	orig := c.m.Orig
+	recs := c.log.SubmittedBetween(c.at, to)
+	for i := range recs {
+		r := &recs[i]
+		exec := c.m.Latency.ScaleExec(r.TemplateHash, r.ExecDuration.Seconds(), r.Size, orig.Size)
+		start := r.SubmitTime
+		end := start.Add(time.Duration(exec * float64(time.Second)))
+		if c.cur != nil && !start.After(c.cur.end.Add(c.autoSuspend)) {
+			if end.After(c.cur.end) {
+				c.cur.end = end
+			}
+		} else {
+			c.closePeriod()
+			c.cur = &busyPeriod{start: start, end: end}
+		}
+		key := start.Truncate(MiniWindow).Unix()
+		wa := c.perWin[key]
+		if wa == nil {
+			wa = &winArrivals{}
+			c.perWin[key] = wa
+		}
+		wa.n++
+		wa.sumExec += exec
+	}
+	c.queries += len(recs)
+	c.at = to
+	c.finalizeWindows()
+	return c.result(to)
+}
+
+func (c *ReplayCursor) closePeriod() {
+	if c.cur == nil {
+		return
+	}
+	iv := billedInterval(*c.cur, c.autoSuspend)
+	c.closed = append(c.closed, iv)
+	c.closedActive += iv.end.Sub(iv.start).Seconds()
+	c.resumesClosed++
+	c.cur = nil
+}
+
+// finalizeWindows folds every mini-window wholly behind the watermark
+// into the finalized credit prefix. Such a window's pricing inputs can
+// no longer change: its arrivals are all consumed (later records submit
+// at or after the watermark), future busy periods start at or after the
+// watermark and so cannot overlap it, and the open period's billed
+// overlap with it is already at its maximum — either the period can
+// never extend again (its bridge expired before the watermark) or its
+// billed end already reaches past the window.
+func (c *ReplayCursor) finalizeWindows() {
+	for w := c.nextWin; !w.Add(MiniWindow).After(c.at); w = w.Add(MiniWindow) {
+		wEnd := w.Add(MiniWindow)
+		for c.billLo < len(c.closed) && !c.closed[c.billLo].end.After(w) {
+			c.billLo++
+		}
+		var active float64
+		active, _ = c.windowActive(w, wEnd, c.billLo)
+		key := w.Unix()
+		if active > 0 {
+			var n int
+			var sumExec float64
+			if wa := c.perWin[key]; wa != nil {
+				n, sumExec = wa.n, wa.sumExec
+			}
+			c.creditsFinal += c.m.windowCredits(active, w, wEnd, n, sumExec)
+		}
+		delete(c.perWin, key)
+		c.nextWin = wEnd
+	}
+}
+
+// windowActive sums the billed-interval overlap with [w, wEnd), folding
+// closed intervals in order from index lo and the open period last —
+// the same order Replay's pricing pass folds them. It returns the first
+// closed index that could overlap a later window.
+func (c *ReplayCursor) windowActive(w, wEnd time.Time, lo int) (float64, int) {
+	for lo < len(c.closed) && !c.closed[lo].end.After(w) {
+		lo++
+	}
+	var active float64
+	for i := lo; i < len(c.closed); i++ {
+		if !c.closed[i].start.Before(wEnd) {
+			break
+		}
+		active += c.closed[i].overlapSecs(w, wEnd)
+	}
+	if c.cur != nil {
+		active += billedInterval(*c.cur, c.autoSuspend).overlapSecs(w, wEnd)
+	}
+	return active, lo
+}
+
+// result assembles the ReplayResult for [from, to) from the finalized
+// prefix plus a fresh pricing pass over the open tail windows.
+func (c *ReplayCursor) result(to time.Time) ReplayResult {
+	res := ReplayResult{From: c.from, To: to, Queries: c.queries}
+	if c.queries == 0 {
+		return res
+	}
+	res.Resumes = c.resumesClosed
+	res.ActiveSeconds = c.closedActive
+	var horizon time.Time
+	if len(c.closed) > 0 {
+		horizon = c.closed[len(c.closed)-1].end
+	}
+	if c.cur != nil {
+		res.Resumes++
+		iv := billedInterval(*c.cur, c.autoSuspend)
+		res.ActiveSeconds += iv.end.Sub(iv.start).Seconds()
+		horizon = iv.end // billed ends strictly increase; the open period's is last
+	}
+	credits := c.creditsFinal
+	lo := c.billLo
+	for w := c.nextWin; w.Before(horizon); w = w.Add(MiniWindow) {
+		wEnd := w.Add(MiniWindow)
+		var active float64
+		active, lo = c.windowActive(w, wEnd, lo)
+		if active == 0 {
+			continue
+		}
+		var n int
+		var sumExec float64
+		if wa := c.perWin[w.Unix()]; wa != nil {
+			n, sumExec = wa.n, wa.sumExec
+		}
+		credits += c.m.windowCredits(active, w, wEnd, n, sumExec)
+	}
+	res.Credits = credits
+	return res
+}

@@ -1,0 +1,114 @@
+package costmodel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/telemetry"
+)
+
+// Property: a ReplayCursor advanced through an arbitrary sequence of
+// watermarks returns exactly — bit-for-bit, not approximately — what a
+// from-scratch Replay over the same range returns against the same log
+// state. Records are delivered in completion order while the cursor
+// advances, so submissions routinely become visible behind the
+// watermark (stragglers), exercising the rebuild path; auto-suspend
+// zero exercises the fallback path; MaxClusters > 1 exercises the
+// cluster-prediction pricing.
+func TestPropertyCursorMatchesReplay(t *testing.T) {
+	f := func(seed int64, n uint8, susMin uint8, maxC uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trainLog := synthLog(rng, 30, cdw.SizeSmall)
+		cfg := cdw.Config{Name: "W", Size: cdw.SizeMedium, MinClusters: 1,
+			MaxClusters: int(maxC%4) + 1,
+			AutoSuspend: time.Duration(susMin%7) * time.Minute,
+			AutoResume:  true}
+		last := trainLog.Queries[len(trainLog.Queries)-1].EndTime
+		m := Train(trainLog, cfg, t0, last.Add(time.Hour), 8)
+
+		// Live records with overlapping executions, delivered to the
+		// store in completion order as the clock advances.
+		count := int(n)%60 + 5
+		recs := make([]cdw.QueryRecord, 0, count)
+		at := t0
+		for i := 0; i < count; i++ {
+			at = at.Add(time.Duration(rng.Intn(1200)) * time.Second)
+			exec := time.Duration(rng.Intn(2400)+1) * time.Second
+			recs = append(recs, cdw.QueryRecord{
+				Warehouse: "W", TemplateHash: uint64(rng.Intn(5)),
+				SubmitTime: at, StartTime: at, EndTime: at.Add(exec),
+				ExecDuration: exec, Size: cdw.SizeSmall, Clusters: rng.Intn(2) + 1,
+			})
+		}
+		sort.SliceStable(recs, func(i, j int) bool {
+			return recs[i].EndTime.Before(recs[j].EndTime)
+		})
+
+		store := telemetry.NewStore()
+		store.OnQuery(recs[0])
+		delivered := 1
+		log := store.Log("W")
+		cur := NewReplayCursor(m, log, t0)
+
+		now := t0
+		end := recs[len(recs)-1].EndTime.Add(2 * time.Hour)
+		for now.Before(end) {
+			now = now.Add(time.Duration(rng.Intn(3*3600)+60) * time.Second)
+			for delivered < len(recs) && !recs[delivered].EndTime.After(now) {
+				store.OnQuery(recs[delivered])
+				delivered++
+			}
+			got := cur.Advance(now)
+			want := m.Replay(log, t0, now)
+			if got != want {
+				t.Logf("seed=%d now=%v: cursor %+v != scratch %+v", seed, now, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The cursor must keep matching when the range start does not align
+// with a mini-window boundary and when every query lands in one burst
+// (a single busy period spanning many windows).
+func TestCursorUnalignedStartAndBurst(t *testing.T) {
+	cfg := cdw.Config{Name: "W", Size: cdw.SizeSmall, MinClusters: 1,
+		MaxClusters: 3, AutoSuspend: 3 * time.Minute, AutoResume: true}
+	rng := rand.New(rand.NewSource(7))
+	trainLog := synthLog(rng, 25, cdw.SizeSmall)
+	last := trainLog.Queries[len(trainLog.Queries)-1].EndTime
+	m := Train(trainLog, cfg, t0, last.Add(time.Hour), 8)
+
+	store := telemetry.NewStore()
+	start := t0.Add(7*time.Minute + 13*time.Second) // off-grid range start
+	at := start.Add(90 * time.Second)
+	for i := 0; i < 40; i++ {
+		exec := 45 * time.Second
+		store.OnQuery(cdw.QueryRecord{
+			Warehouse: "W", TemplateHash: uint64(i % 3),
+			SubmitTime: at, StartTime: at, EndTime: at.Add(exec),
+			ExecDuration: exec, Size: cdw.SizeSmall, Clusters: 1,
+		})
+		at = at.Add(20 * time.Second) // dense burst, one busy period
+	}
+	log := store.Log("W")
+	cur := NewReplayCursor(m, log, start)
+	for _, step := range []time.Duration{
+		5 * time.Minute, 5 * time.Minute, time.Minute, 45 * time.Minute, 4 * time.Hour,
+	} {
+		to := cur.at.Add(step)
+		got := cur.Advance(to)
+		want := m.Replay(log, start, to)
+		if got != want {
+			t.Fatalf("advance to %v: cursor %+v != scratch %+v", to, got, want)
+		}
+	}
+}

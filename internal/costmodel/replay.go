@@ -35,6 +35,69 @@ type busyPeriod struct {
 	end   time.Time // last completion; billing extends by auto-suspend
 }
 
+// billedIv is the billable extent of one busy period: the period plus
+// the auto-suspend idle tail, floored at the resume minimum. Because
+// busy-period starts strictly increase and each period begins after the
+// previous one's auto-suspend fired, billed starts AND billed ends are
+// strictly increasing across periods — which is what lets replay and
+// the cursor find the intervals overlapping a window with a rolling
+// index instead of a scan.
+type billedIv struct {
+	start, end time.Time
+}
+
+func billedInterval(p busyPeriod, autoSuspend time.Duration) billedIv {
+	end := p.end.Add(autoSuspend)
+	if min := p.start.Add(cdw.MinBilledClusterTime); end.Before(min) {
+		end = min
+	}
+	return billedIv{p.start, end}
+}
+
+// overlapSecs returns the overlap of iv with [w, wEnd) in seconds.
+func (iv billedIv) overlapSecs(w, wEnd time.Time) float64 {
+	s, e := iv.start, iv.end
+	if s.Before(w) {
+		s = w
+	}
+	if e.After(wEnd) {
+		e = wEnd
+	}
+	if e.After(s) {
+		return e.Sub(s).Seconds()
+	}
+	return 0
+}
+
+// predictClusters applies the cluster model to one mini-window's
+// arrival statistics under the original configuration's bounds.
+func (m *Model) predictClusters(qph, avgExecSecs float64) float64 {
+	orig := m.Orig
+	clusters := 1.0
+	if orig.MaxClusters > 1 {
+		clusters = m.Clusters.Predict(qph, avgExecSecs, orig.MaxClusters)
+		if clusters < float64(orig.MinClusters) {
+			clusters = float64(orig.MinClusters)
+		}
+	} else if orig.MinClusters > 1 {
+		clusters = float64(orig.MinClusters)
+	}
+	return clusters
+}
+
+// windowCredits prices one mini-window: active overlap × predicted
+// clusters × the original size's hourly rate.
+func (m *Model) windowCredits(activeSecs float64, w, wEnd time.Time, n int, sumExecSecs float64) float64 {
+	var qph, avgExec float64
+	if hours := wEnd.Sub(w).Hours(); hours > 0 {
+		qph = float64(n) / hours
+	}
+	if n > 0 {
+		avgExec = sumExecSecs / float64(n)
+	}
+	return activeSecs / 3600 * m.Orig.Size.CreditsPerHour() * m.predictClusters(qph, avgExec)
+}
+
 // Replay estimates the without-Keebo cost of the queries submitted in
 // [from, to) on the warehouse whose telemetry is log, assuming the
 // customer's original configuration orig had been in effect the whole
@@ -48,6 +111,12 @@ type busyPeriod struct {
 // auto-suspend interval, predicts the cluster count per mini-window
 // using the cluster model, and prices the result at the original
 // size's hourly rate.
+//
+// Cost is O(R log N + W): the record range is a binary-searched view
+// of the submit index, and the pricing pass walks records and billed
+// intervals with rolling pointers rather than rescanning them per
+// window. For a rolling estimate over a growing range, use
+// ReplayCursor, which reuses the busy-period state between calls.
 func (m *Model) Replay(log *telemetry.WarehouseLog, from, to time.Time) ReplayResult {
 	res := ReplayResult{From: from, To: to}
 	recs := log.SubmittedBetween(from, to)
@@ -89,78 +158,45 @@ func (m *Model) Replay(log *telemetry.WarehouseLog, from, to time.Time) ReplayRe
 	// Pass 2: billed intervals — each busy period runs on for the
 	// auto-suspend interval after its last completion (idle billing),
 	// with the 60-second resume minimum applied.
-	type billed struct{ start, end time.Time }
-	var billedIvs []billed
+	billedIvs := make([]billedIv, 0, len(periods))
 	for _, p := range periods {
-		end := p.end.Add(autoSuspend)
-		if min := p.start.Add(cdw.MinBilledClusterTime); end.Before(min) {
-			end = min
-		}
-		billedIvs = append(billedIvs, billed{p.start, end})
-		res.ActiveSeconds += end.Sub(p.start).Seconds()
+		iv := billedInterval(p, autoSuspend)
+		billedIvs = append(billedIvs, iv)
+		res.ActiveSeconds += iv.end.Sub(iv.start).Seconds()
 	}
 
 	// Pass 3: price each mini-window: overlap of billed intervals with
 	// the window × predicted cluster count × original hourly rate.
-	rate := orig.Size.CreditsPerHour()
+	// Billed starts and ends both increase, so the intervals touching a
+	// window form a contiguous range; records are submit-sorted, so
+	// each window's arrivals do too. Both pointers only move forward.
 	horizon := billedIvs[len(billedIvs)-1].end
+	ivLo, ri := 0, 0
 	for w := from.Truncate(MiniWindow); w.Before(horizon); w = w.Add(MiniWindow) {
 		wEnd := w.Add(MiniWindow)
+		for ivLo < len(billedIvs) && !billedIvs[ivLo].end.After(w) {
+			ivLo++
+		}
 		var activeSecs float64
-		for _, iv := range billedIvs {
-			s, e := iv.start, iv.end
-			if s.Before(w) {
-				s = w
+		for i := ivLo; i < len(billedIvs); i++ {
+			if !billedIvs[i].start.Before(wEnd) {
+				break
 			}
-			if e.After(wEnd) {
-				e = wEnd
-			}
-			if e.After(s) {
-				activeSecs += e.Sub(s).Seconds()
-			}
+			activeSecs += billedIvs[i].overlapSecs(w, wEnd)
 		}
 		if activeSecs == 0 {
 			continue
 		}
-		ws := windowArrivalStats(recs, m.Latency, orig.Size, w, wEnd)
-		clusters := 1.0
-		if orig.MaxClusters > 1 {
-			clusters = m.Clusters.Predict(ws.qph, ws.avgExecSecs, orig.MaxClusters)
-			if clusters < float64(orig.MinClusters) {
-				clusters = float64(orig.MinClusters)
-			}
-		} else if orig.MinClusters > 1 {
-			clusters = float64(orig.MinClusters)
+		for ri < len(recs) && recs[ri].SubmitTime.Before(w) {
+			ri++
 		}
-		res.Credits += activeSecs / 3600 * rate * clusters
+		var n int
+		var sumExec float64
+		for j := ri; j < len(recs) && recs[j].SubmitTime.Before(wEnd); j++ {
+			n++
+			sumExec += m.Latency.ScaleExec(recs[j].TemplateHash, recs[j].ExecDuration.Seconds(), recs[j].Size, orig.Size)
+		}
+		res.Credits += m.windowCredits(activeSecs, w, wEnd, n, sumExec)
 	}
 	return res
-}
-
-// windowStats summarizes arrivals in a mini-window for cluster
-// prediction.
-type windowArrival struct {
-	qph         float64
-	avgExecSecs float64
-}
-
-func windowArrivalStats(recs []cdw.QueryRecord, lm *LatencyModel, origSize cdw.Size, from, to time.Time) windowArrival {
-	var n int
-	var sumExec float64
-	for _, r := range recs {
-		if r.SubmitTime.Before(from) || !r.SubmitTime.Before(to) {
-			continue
-		}
-		n++
-		sumExec += lm.ScaleExec(r.TemplateHash, r.ExecDuration.Seconds(), r.Size, origSize)
-	}
-	out := windowArrival{}
-	hours := to.Sub(from).Hours()
-	if hours > 0 {
-		out.qph = float64(n) / hours
-	}
-	if n > 0 {
-		out.avgExecSecs = sumExec / float64(n)
-	}
-	return out
 }

@@ -59,32 +59,42 @@ func AblationCostModel(seed int64) AblationCostModelResult {
 	end := Epoch.Add(time.Duration(days) * 24 * time.Hour)
 	mid := Epoch.Add(time.Duration(days/2) * 24 * time.Hour)
 
-	// Run A (mixed sizes): Large for the first half, Small after —
-	// giving the latency model cross-size observations of the same
-	// templates.
-	schedA := simclock.NewScheduler(seed)
-	acctA := cdw.NewAccount(schedA, cdw.DefaultSimParams())
-	storeA := telemetry.NewStore()
-	acctA.Subscribe(storeA)
 	cfgLarge := cdw.Config{Name: "W", Size: cdw.SizeLarge, MinClusters: 1, MaxClusters: 1,
 		AutoSuspend: time.Minute, AutoResume: true}
-	acctA.CreateWarehouse(cfgLarge)
-	arrA := gen.Generate(Epoch, end, schedA.Rand("wl"))
-	workload.Drive(schedA, acctA, "W", arrA)
-	schedA.Schedule(mid, "resize", func() {
-		acctA.Alter("W", cdw.Alteration{Size: cdw.SizeP(cdw.SizeSmall)}, "test")
-	})
-	schedA.RunUntil(end.Add(time.Hour))
 
-	// Run B (ground truth): identical workload, Large the whole time.
-	schedB := simclock.NewScheduler(seed)
-	acctB := cdw.NewAccount(schedB, cdw.DefaultSimParams())
-	acctB.CreateWarehouse(cfgLarge)
-	arrB := gen.Generate(Epoch, end, schedB.Rand("wl"))
-	workload.Drive(schedB, acctB, "W", arrB)
-	schedB.RunUntil(end.Add(time.Hour))
-	whB, _ := acctB.Warehouse("W")
-	truth := whB.Meter().CreditsBetween(mid, end, schedB.Now())
+	// Run A (mixed sizes: Large for the first half, Small after, giving
+	// the latency model cross-size observations of the same templates)
+	// and run B (ground truth: identical workload, Large the whole time)
+	// are independent simulations; run both across the worker pool.
+	type armOut struct {
+		store *telemetry.Store
+		truth float64
+	}
+	arms := RunIndexed(2, func(i int) armOut {
+		if i == 0 {
+			schedA := simclock.NewScheduler(seed)
+			acctA := cdw.NewAccount(schedA, cdw.DefaultSimParams())
+			storeA := telemetry.NewStore()
+			acctA.Subscribe(storeA)
+			acctA.CreateWarehouse(cfgLarge)
+			arrA := gen.Generate(Epoch, end, schedA.Rand("wl"))
+			workload.Drive(schedA, acctA, "W", arrA)
+			schedA.Schedule(mid, "resize", func() {
+				acctA.Alter("W", cdw.Alteration{Size: cdw.SizeP(cdw.SizeSmall)}, "test")
+			})
+			schedA.RunUntil(end.Add(time.Hour))
+			return armOut{store: storeA}
+		}
+		schedB := simclock.NewScheduler(seed)
+		acctB := cdw.NewAccount(schedB, cdw.DefaultSimParams())
+		acctB.CreateWarehouse(cfgLarge)
+		arrB := gen.Generate(Epoch, end, schedB.Rand("wl"))
+		workload.Drive(schedB, acctB, "W", arrB)
+		schedB.RunUntil(end.Add(time.Hour))
+		whB, _ := acctB.Warehouse("W")
+		return armOut{truth: whB.Meter().CreditsBetween(mid, end, schedB.Now())}
+	})
+	storeA, truth := arms[0].store, arms[1].truth
 
 	// Trained arm: parameters estimated from run A's full history.
 	logA := storeA.Log("W")
@@ -150,8 +160,8 @@ func AblationBackoff(seed int64) AblationBackoffResult {
 			Orig: cfg, Gen: gen, PreDays: 2, KwoDays: 4, Opts: opts,
 			Settings: core.DefaultSettings()}.Execute()
 	}
-	on := build(false)
-	off := build(true)
+	runs := RunIndexed(2, func(i int) *Run { return build(i == 1) })
+	on, off := runs[0], runs[1]
 
 	spikeAt := Epoch.Add(4*24*time.Hour + 14*time.Hour)
 	post := spikeAt.Add(-10 * time.Minute)
@@ -222,9 +232,11 @@ func ValueOfLearning(seed int64) ValueOfLearningResult {
 		{"reactive", baseline.NewReactive()},
 		{"kwo", nil},
 	}
-	var res ValueOfLearningResult
-	var staticDaily float64
-	for _, a := range arms {
+	// The arms share nothing but the seed; run them across the worker
+	// pool and derive savings afterwards, once the static arm's spend is
+	// known.
+	rows := RunIndexed(len(arms), func(i int) ValueOfLearningRow {
+		a := arms[i]
 		var daily, p99 float64
 		if a.ctl == nil {
 			cfg, gen := oversizedBI(1)
@@ -250,14 +262,13 @@ func ValueOfLearning(seed int64) ValueOfLearningResult {
 			daily = wh.Meter().CreditsBetween(steadyFrom, end, sched.Now()) / steadyDays
 			p99 = store.Log(cfg.Name).Stats(steadyFrom, end).P99Latency.Seconds()
 		}
-		if a.name == "static" {
-			staticDaily = daily
+		return ValueOfLearningRow{Controller: a.name, DailyCred: daily, P99Secs: p99}
+	})
+	staticDaily := rows[0].DailyCred // arms[0] is the static baseline
+	if staticDaily > 0 {
+		for i := range rows {
+			rows[i].SavingsPct = 100 * (1 - rows[i].DailyCred/staticDaily)
 		}
-		row := ValueOfLearningRow{Controller: a.name, DailyCred: daily, P99Secs: p99}
-		if staticDaily > 0 {
-			row.SavingsPct = 100 * (1 - daily/staticDaily)
-		}
-		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return ValueOfLearningResult{Rows: rows}
 }

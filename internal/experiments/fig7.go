@@ -51,12 +51,14 @@ func (f Fig7Result) CSV() string {
 
 // Fig7 runs the oversized-BI workload once per slider position (same
 // seed, same arrival stream) and measures steady-state daily credits
-// and latency.
+// and latency. The five positions are independent simulations and run
+// across the worker pool.
 func Fig7(seed int64) Fig7Result {
-	res := Fig7Result{}
 	preDays, kwoDays := 2, 4
-	for _, s := range []policy.Slider{policy.BestPerformance, policy.GoodPerformance,
-		policy.Balanced, policy.LowCost, policy.LowestCost} {
+	sliders := []policy.Slider{policy.BestPerformance, policy.GoodPerformance,
+		policy.Balanced, policy.LowCost, policy.LowestCost}
+	rows := RunIndexed(len(sliders), func(i int) Fig7Row {
+		s := sliders[i]
 		cfg, gen := oversizedBI(1)
 		run := Scenario{
 			Name: fmt.Sprintf("fig7-s%d", int(s)), Seed: seed, Orig: cfg, Gen: gen,
@@ -69,9 +71,7 @@ func Fig7(seed int64) Fig7Result {
 		wh, _ := run.Acct.Warehouse(cfg.Name)
 		credits := wh.Meter().CreditsBetween(steadyFrom, run.End, run.Sched.Now()) / float64(days)
 		avg, p99, _ := run.WindowStats(steadyFrom, run.End)
-		res.Rows = append(res.Rows, Fig7Row{
-			Slider: s, Credits: credits, AvgLatency: avg, P99Latency: p99,
-		})
-	}
-	return res
+		return Fig7Row{Slider: s, Credits: credits, AvgLatency: avg, P99Latency: p99}
+	})
+	return Fig7Result{Rows: rows}
 }

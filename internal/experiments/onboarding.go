@@ -208,8 +208,8 @@ func SavingsBand(seed int64) SavingsBandResult {
 			gen: workload.AdHoc{Pool: adhocPool, BaseQPH: 4, DayVariance: 0.4},
 		},
 	}
-	res := SavingsBandResult{}
-	for i, a := range archetypes {
+	rows := RunIndexed(len(archetypes), func(i int) SavingsBandRow {
+		a := archetypes[i]
 		run := Scenario{Name: "band-" + a.name, Seed: seed + int64(i),
 			Orig: a.cfg, Gen: a.gen, PreDays: 3, KwoDays: 4}.Execute()
 		pre := Mean(run.DailyCredits(0, 3))
@@ -218,7 +218,7 @@ func SavingsBand(seed int64) SavingsBandResult {
 		if pre > 0 {
 			row.SavingsPct = 100 * (1 - kwo/pre)
 		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res
+		return row
+	})
+	return SavingsBandResult{Rows: rows}
 }

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxWorkers bounds the fan-out of RunIndexed. Zero or negative means
+// one worker per CPU. It is read when a fan-out starts; set it before
+// launching experiments, not concurrently with them.
+var MaxWorkers int
+
+func workerCount(n int) int {
+	w := MaxWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunIndexed evaluates fn(0), …, fn(n-1) across a bounded worker pool
+// and returns the results in index order. Every experiment arm builds
+// its own scheduler, account, and RNG stream from its seed, so arms
+// share no mutable state and the result for each index is byte-
+// identical whether the pool has one worker or many — parallelism
+// changes wall-clock time, never output.
+func RunIndexed[T any](n int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := workerCount(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

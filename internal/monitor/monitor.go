@@ -121,6 +121,12 @@ func (m *Monitor) Observe(now time.Time) Snapshot {
 // the baselines. It is side-effect free, so test harnesses and
 // invariant checks can inspect the monitor's verdict at any instant
 // without perturbing what the engine's own Observe calls will see.
+//
+// The Stats call underneath is O(log N + W) with no steady-state
+// allocation (N = log size, W = queries in the window): additive
+// fields come from prefix-aggregate differences and percentiles from
+// quickselect over reused scratch, so Peek stays cheap on every
+// decision tick even against multi-month logs.
 func (m *Monitor) Peek(now time.Time) Snapshot {
 	var log *telemetry.WarehouseLog
 	if m.store != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"kwo/internal/actuator"
@@ -110,6 +111,142 @@ func (h *harness) sweep(now time.Time) {
 	h.checkAudit(now)
 	h.checkInvoices(now)
 	h.checkEnforcementSLA(now)
+}
+
+// checkTelemetryIndexes cross-checks the telemetry log's query-path
+// fast paths — the submit-order index behind SubmittedBetween and the
+// prefix aggregates + quickselect percentiles behind Stats — against a
+// naive recomputation from the raw end-time-ordered log. Both must be
+// exactly equal (struct ==, not approximately): the indexes are pure
+// accelerations, not approximations.
+func (h *harness) checkTelemetryIndexes(now time.Time) {
+	log := h.store.Log(h.name)
+	if log == nil {
+		return
+	}
+	far := now.Add(time.Hour)
+	windows := [][2]time.Time{{h.start, far}}
+	if n := len(log.Queries); n > 0 {
+		mid := log.Queries[n/2].EndTime
+		windows = append(windows, [2]time.Time{mid.Add(-time.Hour), mid})
+	}
+	for _, w := range windows {
+		from, to := w[0], w[1]
+		got := log.SubmittedBetween(from, to)
+		want := naiveSubmittedBetween(log, from, to)
+		if len(got) != len(want) {
+			h.failf(now, "submit index returned %d records for [%v, %v), naive scan %d",
+				len(got), from, to, len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				h.failf(now, "submit index record %d for [%v, %v) disagrees with naive stable sort",
+					i, from, to)
+				break
+			}
+		}
+		if gs, ns := log.Stats(from, to), naiveWindowStats(log, from, to); gs != ns {
+			h.failf(now, "indexed Stats for [%v, %v) disagrees with naive recomputation:\n  indexed: %+v\n  naive:   %+v",
+				from, to, gs, ns)
+		}
+	}
+}
+
+// naiveSubmittedBetween is the pre-index implementation: scan the whole
+// end-time-ordered log, then stable-sort the window by submit time.
+func naiveSubmittedBetween(l *telemetry.WarehouseLog, from, to time.Time) []cdw.QueryRecord {
+	var out []cdw.QueryRecord
+	for _, r := range l.Queries {
+		if !r.SubmitTime.Before(from) && r.SubmitTime.Before(to) {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].SubmitTime.Before(out[j].SubmitTime)
+	})
+	return out
+}
+
+// naiveWindowStats recomputes WindowStats for [from, to) from first
+// principles: a full scan for the window, duration sums in integer
+// arithmetic, and sort-based nearest-rank percentiles. Every field must
+// match the indexed fast path bit for bit.
+func naiveWindowStats(l *telemetry.WarehouseLog, from, to time.Time) telemetry.WindowStats {
+	ws := telemetry.WindowStats{From: from, To: to}
+	firstEnd := make(map[uint64]time.Time)
+	for _, r := range l.Queries {
+		if _, seen := firstEnd[r.TemplateHash]; !seen {
+			firstEnd[r.TemplateHash] = r.EndTime
+		}
+	}
+	var recs []cdw.QueryRecord
+	for _, r := range l.Queries {
+		if !r.EndTime.Before(from) && r.EndTime.Before(to) {
+			recs = append(recs, r)
+		}
+	}
+	n := len(recs)
+	ws.Queries = n
+	if hours := to.Sub(from).Hours(); hours > 0 {
+		ws.QPH = float64(n) / hours
+	}
+	if n == 0 {
+		return ws
+	}
+	var lat, queue, exec time.Duration
+	var clusters, size int64
+	lats := make([]time.Duration, 0, n)
+	queues := make([]time.Duration, 0, n)
+	seen := make(map[uint64]struct{})
+	for _, r := range recs {
+		lat += r.TotalDuration()
+		queue += r.QueueDuration
+		exec += r.ExecDuration
+		ws.BytesTotal += r.BytesScanned
+		clusters += int64(r.Clusters)
+		size += int64(r.Size)
+		if r.ColdRead {
+			ws.ColdReads++
+		}
+		if r.Resumed {
+			ws.Resumes++
+		}
+		lats = append(lats, r.TotalDuration())
+		queues = append(queues, r.QueueDuration)
+		if _, ok := seen[r.TemplateHash]; !ok {
+			seen[r.TemplateHash] = struct{}{}
+			if !firstEnd[r.TemplateHash].Before(from) {
+				ws.NewTemplates++
+			}
+		}
+		if r.Clusters > ws.MaxClusters {
+			ws.MaxClusters = r.Clusters
+		}
+	}
+	ws.AvgLatency = lat / time.Duration(n)
+	ws.AvgQueue = queue / time.Duration(n)
+	ws.AvgExec = exec / time.Duration(n)
+	ws.AvgClusters = float64(clusters) / float64(n)
+	ws.AvgSize = float64(size) / float64(n)
+	ws.DistinctTemplates = len(seen)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(queues, func(i, j int) bool { return queues[i] < queues[j] })
+	rank := func(p float64) int {
+		r := int(math.Ceil(p*float64(n))) - 1
+		if r < 0 {
+			r = 0
+		}
+		if r >= n {
+			r = n - 1
+		}
+		return r
+	}
+	ws.P50Latency = lats[rank(0.50)]
+	ws.P95Latency = lats[rank(0.95)]
+	ws.P99Latency = lats[rank(0.99)]
+	ws.P99Queue = queues[rank(0.99)]
+	return ws
 }
 
 // checkMeter is billing conservation: the per-segment ledger, the hourly
@@ -360,6 +497,7 @@ func (h *harness) checkEnforcementSLA(now time.Time) {
 
 func (h *harness) finalChecks(horizon time.Time) {
 	h.sweep(horizon)
+	h.checkTelemetryIndexes(horizon)
 
 	w := h.wh
 	if w.QueueLength() != 0 || w.RunningQueries() != 0 {

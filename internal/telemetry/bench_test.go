@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+// benchStore ingests n records through OnQuery in realistic completion
+// order: mostly increasing end times with small out-of-order runs from
+// multi-cluster execution.
+func benchStore(n int) *Store {
+	rng := rand.New(rand.NewSource(1))
+	s := NewStore()
+	base := time.Date(2023, 1, 2, 0, 0, 0, 0, time.UTC)
+	at := base
+	for i := 0; i < n; i++ {
+		at = at.Add(time.Duration(rng.Intn(50)+1) * time.Second)
+		exec := time.Duration(rng.Intn(120)+1) * time.Second
+		s.OnQuery(cdw.QueryRecord{
+			Warehouse: "W", TemplateHash: uint64(rng.Intn(40)),
+			SubmitTime: at, StartTime: at, EndTime: at.Add(exec),
+			QueueDuration: time.Duration(rng.Intn(5)) * time.Second,
+			ExecDuration:  exec, BytesScanned: 1 << 20,
+			Clusters: 1, Size: cdw.SizeSmall,
+		})
+	}
+	return s
+}
+
+var (
+	sinkRecords []cdw.QueryRecord
+	sinkStats   WindowStats
+)
+
+const benchN = 100_000
+
+func benchWindow(l *WarehouseLog) (time.Time, time.Time) {
+	mid := l.Queries[len(l.Queries)/2].EndTime
+	return mid, mid.Add(time.Hour)
+}
+
+func BenchmarkSubmittedBetween100k(b *testing.B) {
+	l := benchStore(benchN).Log("W")
+	from, to := benchWindow(l)
+	l.SubmittedBetween(from, to) // build the index outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRecords = l.SubmittedBetween(from, to)
+	}
+}
+
+// BenchmarkSubmittedBetweenNaive100k measures the pre-index
+// implementation (full scan + stable sort) on the identical log and
+// window, so the speedup is visible inside one bench run.
+func BenchmarkSubmittedBetweenNaive100k(b *testing.B) {
+	l := benchStore(benchN).Log("W")
+	from, to := benchWindow(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRecords = naiveSubmittedBetween(l, from, to)
+	}
+}
+
+func BenchmarkStatsWindow100k(b *testing.B) {
+	l := benchStore(benchN).Log("W")
+	from, to := benchWindow(l)
+	l.Stats(from, to) // warm indexes and scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkStats = l.Stats(from, to)
+	}
+}
+
+func BenchmarkStatsNaive100k(b *testing.B) {
+	l := benchStore(benchN).Log("W")
+	from, to := benchWindow(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkStats = naiveStats(l, from, to)
+	}
+}
+
+// BenchmarkOnQueryIngest measures ingestion including the occasional
+// out-of-order binary insertion (ns/op is per record).
+func BenchmarkOnQueryIngest(b *testing.B) {
+	for i := 0; i < b.N; i += benchN {
+		b.StopTimer()
+		n := benchN
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		b.StartTimer()
+		benchStore(n)
+	}
+}

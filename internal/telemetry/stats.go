@@ -1,8 +1,8 @@
 package telemetry
 
 import (
+	"cmp"
 	"math"
-	"sort"
 	"time"
 
 	"kwo/internal/cdw"
@@ -40,67 +40,72 @@ type WindowStats struct {
 }
 
 // Stats computes WindowStats for queries ending in [from, to).
+//
+// All additive fields come from prefix-aggregate differences (O(log N)
+// regardless of window width); the single pass over the window itself
+// only gathers percentile inputs and template identities, into scratch
+// buffers reused across calls. A monitor tick therefore costs O(log N
+// + W) with no steady-state allocation, where W is the window size —
+// previously each tick scanned and sorted the whole log.
 func (l *WarehouseLog) Stats(from, to time.Time) WindowStats {
 	ws := WindowStats{From: from, To: to}
 	if l == nil {
 		return ws
 	}
-	recs := l.QueriesBetween(from, to)
-	ws.Queries = len(recs)
+	l.ensureQueryIndexes()
+	lo, hi := l.queryRange(from, to)
+	n := hi - lo
+	ws.Queries = n
 	hours := to.Sub(from).Hours()
 	if hours > 0 {
-		ws.QPH = float64(len(recs)) / hours
+		ws.QPH = float64(n) / hours
 	}
-	if len(recs) == 0 {
+	if n == 0 {
 		return ws
 	}
-	seenBefore := make(map[uint64]bool)
-	for _, q := range l.Queries {
-		if q.EndTime.Before(from) {
-			seenBefore[q.TemplateHash] = true
-		}
+
+	sum := l.agg[hi-1]
+	if lo > 0 {
+		sum = sum.sub(l.agg[lo-1])
 	}
-	var latencies, queues []time.Duration
-	var sumLat, sumQueue, sumExec time.Duration
-	distinct := make(map[uint64]bool)
-	var sumClusters, sumSize float64
-	for _, r := range recs {
-		lat := r.TotalDuration()
-		latencies = append(latencies, lat)
-		queues = append(queues, r.QueueDuration)
-		sumLat += lat
-		sumQueue += r.QueueDuration
-		sumExec += r.ExecDuration
-		ws.BytesTotal += r.BytesScanned
-		if r.ColdRead {
-			ws.ColdReads++
-		}
-		if r.Resumed {
-			ws.Resumes++
-		}
-		if !distinct[r.TemplateHash] {
-			distinct[r.TemplateHash] = true
-			if !seenBefore[r.TemplateHash] {
+	ws.BytesTotal = sum.bytes
+	ws.ColdReads = int(sum.cold)
+	ws.Resumes = int(sum.resumed)
+	ws.AvgLatency = sum.lat / time.Duration(n)
+	ws.AvgQueue = sum.queue / time.Duration(n)
+	ws.AvgExec = sum.exec / time.Duration(n)
+	// Cluster and size sums are integers well under 2^53, so the float
+	// averages are bit-identical to a sequential float accumulation.
+	ws.AvgClusters = float64(sum.clusters) / float64(n)
+	ws.AvgSize = float64(sum.size) / float64(n)
+
+	l.latScratch = l.latScratch[:0]
+	l.queueScratch = l.queueScratch[:0]
+	if l.distinct == nil {
+		l.distinct = make(map[uint64]struct{})
+	}
+	clear(l.distinct)
+	for i := lo; i < hi; i++ {
+		r := &l.Queries[i]
+		l.latScratch = append(l.latScratch, r.TotalDuration())
+		l.queueScratch = append(l.queueScratch, r.QueueDuration)
+		if _, seen := l.distinct[r.TemplateHash]; !seen {
+			l.distinct[r.TemplateHash] = struct{}{}
+			// A template is new iff its earliest completion anywhere in
+			// the log is not before the window start.
+			if !l.firstEnd[r.TemplateHash].Before(from) {
 				ws.NewTemplates++
 			}
 		}
-		sumClusters += float64(r.Clusters)
 		if r.Clusters > ws.MaxClusters {
 			ws.MaxClusters = r.Clusters
 		}
-		sumSize += float64(r.Size)
 	}
-	n := len(recs)
-	ws.DistinctTemplates = len(distinct)
-	ws.AvgLatency = sumLat / time.Duration(n)
-	ws.AvgQueue = sumQueue / time.Duration(n)
-	ws.AvgExec = sumExec / time.Duration(n)
-	ws.AvgClusters = sumClusters / float64(n)
-	ws.AvgSize = sumSize / float64(n)
-	ws.P50Latency = percentileDur(latencies, 0.50)
-	ws.P95Latency = percentileDur(latencies, 0.95)
-	ws.P99Latency = percentileDur(latencies, 0.99)
-	ws.P99Queue = percentileDur(queues, 0.99)
+	ws.DistinctTemplates = len(l.distinct)
+	ws.P50Latency = percentileDur(l.latScratch, 0.50)
+	ws.P95Latency = percentileDur(l.latScratch, 0.95)
+	ws.P99Latency = percentileDur(l.latScratch, 0.99)
+	ws.P99Queue = percentileDur(l.queueScratch, 0.99)
 	return ws
 }
 
@@ -117,42 +122,97 @@ func (l *WarehouseLog) Series(from, to time.Time, step time.Duration) []WindowSt
 	return out
 }
 
+// nearestRank maps a quantile p (0..1) over n values to a 0-based
+// order-statistic index, clamped to the valid range.
+func nearestRank(n int, p float64) int {
+	rank := int(math.Ceil(p*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return rank
+}
+
 // percentileDur returns the p-quantile (0..1) using the nearest-rank
-// method on a copy of the input.
+// method. The input is reordered in place (quickselect); callers pass
+// scratch buffers.
 func percentileDur(ds []time.Duration, p float64) time.Duration {
 	if len(ds) == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(ds))
-	copy(sorted, ds)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
+	return quickselect(ds, nearestRank(len(ds), p))
 }
 
 // Percentile exposes the nearest-rank quantile for float64 slices,
-// shared by dashboards and experiments.
+// shared by dashboards and experiments. The input is not modified.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if rank < 0 {
-		rank = 0
+	scratch := make([]float64, len(xs))
+	copy(scratch, xs)
+	return quickselect(scratch, nearestRank(len(xs), p))
+}
+
+// quickselect returns the k-th smallest element (0-based) of a,
+// reordering a in place with zero allocation. Median-of-three
+// pivoting, an insertion-sort fallback for small ranges and
+// pathological pivot sequences; the returned value is the exact order
+// statistic a full sort would produce.
+func quickselect[T cmp.Ordered](a []T, k int) T {
+	lo, hi := 0, len(a)-1
+	for depth := 0; lo < hi; depth++ {
+		if hi-lo < 12 || depth > 64 {
+			insertionSort(a, lo, hi)
+			return a[k]
+		}
+		p := partition(a, lo, hi)
+		switch {
+		case k == p:
+			return a[k]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	return a[k]
+}
+
+func insertionSort[T cmp.Ordered](a []T, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
-	return sorted[rank]
+}
+
+// partition orders a[lo..hi] around a median-of-three pivot and returns
+// the pivot's final index.
+func partition[T cmp.Ordered](a []T, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+	}
+	a[mid], a[hi] = a[hi], a[mid]
+	pivot := a[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi] = a[hi], a[i]
+	return i
 }
 
 // LatencyObs is one (size, latency) observation for a template, the
@@ -171,7 +231,7 @@ func (l *WarehouseLog) TemplateObservations(from, to time.Time) map[uint64][]Lat
 	if l == nil {
 		return out
 	}
-	for _, r := range l.QueriesBetween(from, to) {
+	for _, r := range l.QueriesBetweenView(from, to) {
 		out[r.TemplateHash] = append(out[r.TemplateHash], LatencyObs{
 			Size:     r.Size,
 			ExecSecs: r.ExecDuration.Seconds(),

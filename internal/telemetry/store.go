@@ -7,6 +7,13 @@
 //
 // The Store implements cdw.Listener, so subscribing it to an account
 // mirrors pulling Snowflake's QUERY_HISTORY and metering views.
+//
+// The engine reads the log continuously (every monitor tick computes
+// window stats, every savings estimate replays arrivals), so the log
+// keeps derived indexes alongside the raw slices: a submit-order copy
+// of the query records, per-record prefix aggregates, and first-seen
+// template times. All range queries are binary-search based; none scan
+// or sort the full log. See PERFORMANCE.md for the complexity budget.
 package telemetry
 
 import (
@@ -17,6 +24,9 @@ import (
 )
 
 // Store accumulates telemetry for every warehouse of an account.
+// A Store is not safe for concurrent use; the simulator delivers
+// events from a single goroutine, and parallel experiment runners use
+// one Store per scenario.
 type Store struct {
 	byWarehouse map[string]*WarehouseLog
 	names       []string
@@ -25,6 +35,11 @@ type Store struct {
 // WarehouseLog is the telemetry of a single warehouse. Query records
 // are kept sorted by EndTime (they arrive in completion order from the
 // simulator).
+//
+// The exported slices may be read freely and extended by appending
+// records in order (tests do); all other mutation must go through the
+// Store's listener methods, or the derived indexes will silently
+// diverge from the raw data.
 type WarehouseLog struct {
 	Name    string
 	Queries []cdw.QueryRecord
@@ -34,6 +49,74 @@ type WarehouseLog struct {
 	Billing []cdw.HourlyRecord
 
 	billingIdx map[int64]int // hour unix → index into Billing
+
+	// Derived query indexes, maintained incrementally by OnQuery and
+	// resynced lazily when Queries was extended directly.
+	bySubmit []cdw.QueryRecord    // records ordered by (SubmitTime, EndTime, arrival)
+	agg      []queryAgg           // agg[i] aggregates Queries[:i+1]
+	firstEnd map[uint64]time.Time // template hash → earliest completion time
+	subN     int                  // prefix of Queries folded into bySubmit/firstEnd
+
+	// Change-log index state: the prefix of Changes verified to be in
+	// nondecreasing time order (the audit log is, unless built by hand).
+	chN      int
+	chSorted bool
+
+	// Billing index state: sortedness of the rows by hour plus the
+	// running last-billed hour.
+	billN      int
+	billSorted bool
+	billLast   time.Time
+
+	// Reusable scratch for window statistics (percentile selection and
+	// distinct-template counting), so a monitor tick allocates nothing
+	// in steady state.
+	latScratch   []time.Duration
+	queueScratch []time.Duration
+	distinct     map[uint64]struct{}
+}
+
+// queryAgg is the running total of every additive WindowStats input up
+// to and including one query record. All fields are integers, so
+// prefix differences are exact and window sums match a direct scan
+// bit for bit.
+type queryAgg struct {
+	lat      time.Duration // queue + exec (TotalDuration)
+	queue    time.Duration
+	exec     time.Duration
+	bytes    int64
+	clusters int64
+	size     int64
+	cold     int64
+	resumed  int64
+}
+
+func (a queryAgg) add(r cdw.QueryRecord) queryAgg {
+	a.lat += r.TotalDuration()
+	a.queue += r.QueueDuration
+	a.exec += r.ExecDuration
+	a.bytes += r.BytesScanned
+	a.clusters += int64(r.Clusters)
+	a.size += int64(r.Size)
+	if r.ColdRead {
+		a.cold++
+	}
+	if r.Resumed {
+		a.resumed++
+	}
+	return a
+}
+
+func (a queryAgg) sub(b queryAgg) queryAgg {
+	a.lat -= b.lat
+	a.queue -= b.queue
+	a.exec -= b.exec
+	a.bytes -= b.bytes
+	a.clusters -= b.clusters
+	a.size -= b.size
+	a.cold -= b.cold
+	a.resumed -= b.resumed
+	return a
 }
 
 // NewStore returns an empty telemetry store.
@@ -54,15 +137,35 @@ func (s *Store) log(name string) *WarehouseLog {
 // OnQuery implements cdw.Listener.
 func (s *Store) OnQuery(r cdw.QueryRecord) {
 	l := s.log(r.Warehouse)
-	l.Queries = append(l.Queries, r)
-	// Completion events arrive in EndTime order from the simulator, but
-	// guard against equal-time reordering from multiple clusters.
+	l.ensureQueryIndexes()
 	n := len(l.Queries)
-	if n > 1 && l.Queries[n-1].EndTime.Before(l.Queries[n-2].EndTime) {
-		sort.SliceStable(l.Queries, func(i, j int) bool {
-			return l.Queries[i].EndTime.Before(l.Queries[j].EndTime)
+	if n > 0 && r.EndTime.Before(l.Queries[n-1].EndTime) {
+		// Out-of-order completion (equal-time reordering from multiple
+		// clusters): a single binary insertion keeps the slice sorted,
+		// placing the record after every equal EndTime — exactly where a
+		// stable re-sort of the whole slice would have put it.
+		i := sort.Search(n, func(i int) bool {
+			return l.Queries[i].EndTime.After(r.EndTime)
 		})
+		l.Queries = append(l.Queries, cdw.QueryRecord{})
+		copy(l.Queries[i+1:], l.Queries[i:])
+		l.Queries[i] = r
+		// Prefix aggregates from the insertion point on are stale; the
+		// next reader re-extends them over the shifted tail.
+		l.agg = l.agg[:i]
+	} else {
+		l.Queries = append(l.Queries, r)
+		var prev queryAgg
+		if len(l.agg) > 0 {
+			prev = l.agg[len(l.agg)-1]
+		}
+		l.agg = append(l.agg, prev.add(r))
 	}
+	// The submit index and first-seen map are position-independent, so
+	// the new record folds in directly either way.
+	l.indexSubmit(r)
+	l.noteFirstEnd(r)
+	l.subN++
 }
 
 // OnChange implements cdw.Listener.
@@ -85,53 +188,190 @@ func (s *Store) Warehouses() []string {
 // Log returns the telemetry of one warehouse (nil if none).
 func (s *Store) Log(name string) *WarehouseLog { return s.byWarehouse[name] }
 
-// QueriesBetween returns query records with EndTime in [from, to).
+// ---------------------------------------------------------------------
+// Derived-index maintenance.
+
+// ensureQueryIndexes folds any directly appended records into the
+// derived indexes. When Queries shrank or was rewritten wholesale the
+// indexes are rebuilt from scratch.
+func (l *WarehouseLog) ensureQueryIndexes() {
+	if l.subN == len(l.Queries) && len(l.agg) == len(l.Queries) {
+		return
+	}
+	if l.subN > len(l.Queries) {
+		l.bySubmit = l.bySubmit[:0]
+		l.agg = l.agg[:0]
+		l.firstEnd = nil
+		l.subN = 0
+	}
+	for _, r := range l.Queries[l.subN:] {
+		l.indexSubmit(r)
+		l.noteFirstEnd(r)
+	}
+	l.subN = len(l.Queries)
+	if len(l.agg) > len(l.Queries) {
+		l.agg = l.agg[:0]
+	}
+	for i := len(l.agg); i < len(l.Queries); i++ {
+		var prev queryAgg
+		if i > 0 {
+			prev = l.agg[i-1]
+		}
+		l.agg = append(l.agg, prev.add(l.Queries[i]))
+	}
+}
+
+// indexSubmit inserts r into the submit-order index. The key is
+// (SubmitTime, EndTime) with insertion after every equal key, which
+// reproduces the order a stable sort by SubmitTime over the
+// EndTime-sorted log would yield.
+func (l *WarehouseLog) indexSubmit(r cdw.QueryRecord) {
+	i := sort.Search(len(l.bySubmit), func(i int) bool {
+		q := &l.bySubmit[i]
+		if !q.SubmitTime.Equal(r.SubmitTime) {
+			return q.SubmitTime.After(r.SubmitTime)
+		}
+		return q.EndTime.After(r.EndTime)
+	})
+	l.bySubmit = append(l.bySubmit, cdw.QueryRecord{})
+	copy(l.bySubmit[i+1:], l.bySubmit[i:])
+	l.bySubmit[i] = r
+}
+
+// noteFirstEnd records the earliest completion time per template. The
+// update is order-independent (it keeps the minimum), so late
+// insertions need no index repair.
+func (l *WarehouseLog) noteFirstEnd(r cdw.QueryRecord) {
+	if l.firstEnd == nil {
+		l.firstEnd = make(map[uint64]time.Time)
+	}
+	if t, ok := l.firstEnd[r.TemplateHash]; !ok || r.EndTime.Before(t) {
+		l.firstEnd[r.TemplateHash] = r.EndTime
+	}
+}
+
+// queryRange returns the index range of Queries with EndTime in
+// [from, to).
+func (l *WarehouseLog) queryRange(from, to time.Time) (lo, hi int) {
+	lo = sort.Search(len(l.Queries), func(i int) bool {
+		return !l.Queries[i].EndTime.Before(from)
+	})
+	hi = sort.Search(len(l.Queries), func(i int) bool {
+		return !l.Queries[i].EndTime.Before(to)
+	})
+	return lo, hi
+}
+
+// ---------------------------------------------------------------------
+// Range queries.
+
+// QueriesBetween returns a copy of the query records with EndTime in
+// [from, to). Use QueriesBetweenView on hot paths that only read.
 func (l *WarehouseLog) QueriesBetween(from, to time.Time) []cdw.QueryRecord {
+	v := l.QueriesBetweenView(from, to)
+	out := make([]cdw.QueryRecord, len(v))
+	copy(out, v)
+	return out
+}
+
+// QueriesBetweenView returns the query records with EndTime in
+// [from, to) as a sub-slice view of the log: no copy, no allocation.
+// The view is read-only and valid until the next record is ingested.
+func (l *WarehouseLog) QueriesBetweenView(from, to time.Time) []cdw.QueryRecord {
 	if l == nil {
 		return nil
 	}
-	lo := sort.Search(len(l.Queries), func(i int) bool {
-		return !l.Queries[i].EndTime.Before(from)
-	})
-	hi := sort.Search(len(l.Queries), func(i int) bool {
-		return !l.Queries[i].EndTime.Before(to)
-	})
-	out := make([]cdw.QueryRecord, hi-lo)
-	copy(out, l.Queries[lo:hi])
-	return out
+	lo, hi := l.queryRange(from, to)
+	if lo >= hi {
+		return nil
+	}
+	return l.Queries[lo:hi:hi]
 }
 
 // SubmittedBetween returns query records with SubmitTime in [from, to),
 // sorted by SubmitTime. Used by the cost model's replay, which walks
 // arrivals, not completions.
+//
+// The result is a sub-slice view of the submit-order index: two binary
+// searches, no copy, no sort. It is read-only and valid until the next
+// record is ingested.
 func (l *WarehouseLog) SubmittedBetween(from, to time.Time) []cdw.QueryRecord {
 	if l == nil {
 		return nil
 	}
-	var out []cdw.QueryRecord
-	for _, q := range l.Queries {
-		if !q.SubmitTime.Before(from) && q.SubmitTime.Before(to) {
-			out = append(out, q)
+	l.ensureQueryIndexes()
+	lo := sort.Search(len(l.bySubmit), func(i int) bool {
+		return !l.bySubmit[i].SubmitTime.Before(from)
+	})
+	hi := sort.Search(len(l.bySubmit), func(i int) bool {
+		return !l.bySubmit[i].SubmitTime.Before(to)
+	})
+	if lo >= hi {
+		return nil
+	}
+	return l.bySubmit[lo:hi:hi]
+}
+
+// ensureChangeIndex verifies (incrementally) that the change log is in
+// nondecreasing time order, which the audit log produced by a live
+// account always is. Sorted logs get binary-search range queries;
+// hand-built unsorted ones fall back to a scan.
+func (l *WarehouseLog) ensureChangeIndex() {
+	if l.chN == len(l.Changes) {
+		return
+	}
+	if l.chN > len(l.Changes) {
+		l.chN, l.chSorted = 0, false
+	}
+	if l.chN == 0 {
+		l.chSorted = true
+	}
+	for i := l.chN; i < len(l.Changes); i++ {
+		if i > 0 && l.Changes[i].Time.Before(l.Changes[i-1].Time) {
+			l.chSorted = false
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		return out[i].SubmitTime.Before(out[j].SubmitTime)
-	})
+	l.chN = len(l.Changes)
+}
+
+// ChangesBetween returns a copy of the config changes in [from, to).
+func (l *WarehouseLog) ChangesBetween(from, to time.Time) []cdw.ConfigChange {
+	v := l.ChangesBetweenView(from, to)
+	if len(v) == 0 {
+		return nil
+	}
+	out := make([]cdw.ConfigChange, len(v))
+	copy(out, v)
 	return out
 }
 
-// ChangesBetween returns config changes in [from, to).
-func (l *WarehouseLog) ChangesBetween(from, to time.Time) []cdw.ConfigChange {
+// ChangesBetweenView returns the config changes in [from, to) as a
+// read-only sub-slice view when the change log is time-sorted (the
+// audit log always is), falling back to a filtered copy otherwise.
+func (l *WarehouseLog) ChangesBetweenView(from, to time.Time) []cdw.ConfigChange {
 	if l == nil {
 		return nil
 	}
-	var out []cdw.ConfigChange
-	for _, c := range l.Changes {
-		if !c.Time.Before(from) && c.Time.Before(to) {
-			out = append(out, c)
+	l.ensureChangeIndex()
+	if !l.chSorted {
+		var out []cdw.ConfigChange
+		for _, c := range l.Changes {
+			if !c.Time.Before(from) && c.Time.Before(to) {
+				out = append(out, c)
+			}
 		}
+		return out
 	}
-	return out
+	lo := sort.Search(len(l.Changes), func(i int) bool {
+		return !l.Changes[i].Time.Before(from)
+	})
+	hi := sort.Search(len(l.Changes), func(i int) bool {
+		return !l.Changes[i].Time.Before(to)
+	})
+	if lo >= hi {
+		return nil
+	}
+	return l.Changes[lo:hi:hi]
 }
 
 // ConfigAt reconstructs the warehouse configuration in effect at t from
@@ -139,6 +379,17 @@ func (l *WarehouseLog) ChangesBetween(from, to time.Time) []cdw.ConfigChange {
 func (l *WarehouseLog) ConfigAt(t time.Time, initial cdw.Config) cdw.Config {
 	cfg := initial
 	if l == nil {
+		return cfg
+	}
+	l.ensureChangeIndex()
+	if l.chSorted {
+		// Last change with Time <= t.
+		i := sort.Search(len(l.Changes), func(i int) bool {
+			return l.Changes[i].Time.After(t)
+		})
+		if i > 0 {
+			cfg = l.Changes[i-1].After
+		}
 		return cfg
 	}
 	for _, c := range l.Changes {
@@ -185,13 +436,50 @@ func (s *Store) AddBilling(warehouse string, rows []cdw.HourlyRecord) {
 	}
 }
 
+// ensureBillingIndex verifies (incrementally) that the billing rows are
+// in increasing hour order — they are when ingested by the engine's
+// periodic pull — and tracks the most recent billed hour.
+func (l *WarehouseLog) ensureBillingIndex() {
+	if l.billN == len(l.Billing) {
+		return
+	}
+	if l.billN > len(l.Billing) {
+		l.billN, l.billSorted, l.billLast = 0, false, time.Time{}
+	}
+	if l.billN == 0 {
+		l.billSorted = true
+	}
+	for i := l.billN; i < len(l.Billing); i++ {
+		if i > 0 && l.Billing[i].HourStart.Before(l.Billing[i-1].HourStart) {
+			l.billSorted = false
+		}
+		if l.Billing[i].HourStart.After(l.billLast) {
+			l.billLast = l.Billing[i].HourStart
+		}
+	}
+	l.billN = len(l.Billing)
+}
+
 // BillingBetween sums ingested billing credits for hours starting in
 // [from, to).
 func (l *WarehouseLog) BillingBetween(from, to time.Time) float64 {
 	if l == nil {
 		return 0
 	}
+	l.ensureBillingIndex()
 	var total float64
+	if l.billSorted {
+		lo := sort.Search(len(l.Billing), func(i int) bool {
+			return !l.Billing[i].HourStart.Before(from)
+		})
+		hi := sort.Search(len(l.Billing), func(i int) bool {
+			return !l.Billing[i].HourStart.Before(to)
+		})
+		for _, r := range l.Billing[lo:hi] {
+			total += r.Credits
+		}
+		return total
+	}
 	for _, r := range l.Billing {
 		if !r.HourStart.Before(from) && r.HourStart.Before(to) {
 			total += r.Credits
@@ -206,11 +494,6 @@ func (l *WarehouseLog) LastBilledHour() time.Time {
 	if l == nil {
 		return time.Time{}
 	}
-	var last time.Time
-	for _, r := range l.Billing {
-		if r.HourStart.After(last) {
-			last = r.HourStart
-		}
-	}
-	return last
+	l.ensureBillingIndex()
+	return l.billLast
 }
