@@ -31,6 +31,9 @@ func main() {
 	qph := flag.Float64("qph", 60, "workload intensity (peak or base queries/hour)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	tracePath := flag.String("trace", "", "replay a kwo-trace file instead of generating a workload")
+	faultAlterRate := flag.Float64("fault-alter-rate", 0, "probability an ALTER fails before applying (0 disables)")
+	faultTimeoutRate := flag.Float64("fault-alter-timeout-rate", 0, "probability an ALTER applies but loses its acknowledgment")
+	faultBillingLag := flag.Duration("fault-billing-lag", 0, "billing-history visibility lag (e.g. 2h)")
 	flag.Parse()
 
 	size, err := kwo.ParseSize(*sizeName)
@@ -56,6 +59,14 @@ func main() {
 	}
 
 	sim := kwo.NewSimulation(*seed)
+	faultsOn := *faultAlterRate > 0 || *faultTimeoutRate > 0 || *faultBillingLag > 0
+	if faultsOn {
+		sim.InjectFaults(kwo.FaultPlan{
+			AlterFailRate:    *faultAlterRate,
+			AlterTimeoutRate: *faultTimeoutRate,
+			BillingLag:       *faultBillingLag,
+		})
+	}
 	wh, err := sim.CreateWarehouse(kwo.WarehouseConfig{
 		Name: "MAIN_WH", Size: size, MinClusters: 1, MaxClusters: *maxClusters,
 		Policy: kwo.ScaleStandard, AutoSuspend: *suspend, AutoResume: true,
@@ -115,6 +126,20 @@ func main() {
 	fmt.Print(rep)
 	fmt.Printf("\nfinal configuration: %s, clusters %d–%d, auto-suspend %v\n",
 		wh.Config().Size, wh.Config().MinClusters, wh.Config().MaxClusters, wh.Config().AutoSuspend)
+
+	// Reliability summary, printed only when fault injection is enabled
+	// so the fault-free stdout stays byte-deterministic across builds.
+	if faultsOn {
+		counts := sim.FaultCounts()
+		health, err := opt.Health("MAIN_WH")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreliability: injected %d alter failures, %d lost acks, %d billing failures\n",
+			counts.AlterFailures, counts.AlterAckLosts, counts.BillingFailures)
+		fmt.Printf("  failure log %d rows, degraded ticks %d, recoveries %d, degraded now %v\n",
+			len(opt.ActuationFailures()), health.DegradedTicks, health.Recoveries, health.Degraded)
+	}
 	// Wall-clock goes to stderr so stdout stays byte-deterministic for
 	// a given seed and flags.
 	fmt.Fprintf(os.Stderr, "[simulated %d days (%d queries) in %v wall]\n",

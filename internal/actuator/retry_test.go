@@ -1,0 +1,265 @@
+package actuator
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/action"
+	"kwo/internal/cdw"
+	"kwo/internal/simclock"
+)
+
+// noJitter is the default policy with jitter removed, so retry timing is
+// exact: attempts land at +0, +30s, +1m30s, +3m30s.
+func noJitter() RetryPolicy {
+	p := DefaultRetryPolicy()
+	p.JitterFrac = 0
+	return p
+}
+
+func kinds(fs []Failure) []FailureKind {
+	out := make([]FailureKind, len(fs))
+	for i, f := range fs {
+		out[i] = f.Kind
+	}
+	return out
+}
+
+func countKind(fs []Failure, k FailureKind) int {
+	n := 0
+	for _, f := range fs {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRetryLandsAfterOutage(t *testing.T) {
+	sched, acct, act := rig(t)
+	act.SetRetryPolicy(noJitter())
+	start := sched.Now()
+	// Outage ends between the 3rd attempt (+1m30s) and the 4th (+3m30s).
+	acct.SetFaults(cdw.FaultPlan{
+		AlterOutages: []cdw.FaultWindow{{From: start, To: start.Add(3 * time.Minute)}},
+	})
+	var landed []cdw.Size
+	act.SetOnApplied(func(wh, reason string, a action.Action, after cdw.Config) {
+		landed = append(landed, after.Size)
+	})
+	applied, err := act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "smart-model")
+	if applied || err == nil || !cdw.IsTransient(err) {
+		t.Fatalf("first attempt: applied=%v err=%v, want a transient failure", applied, err)
+	}
+	if !act.Pending("W") {
+		t.Fatal("no pending operation after a transient failure")
+	}
+	sched.RunFor(10 * time.Minute)
+	if act.Pending("W") {
+		t.Fatal("operation still pending after the outage ended")
+	}
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size != cdw.SizeSmall {
+		t.Fatalf("size = %v, want the retried size-down applied", wh.Config().Size)
+	}
+	if len(landed) != 1 || landed[0] != cdw.SizeSmall {
+		t.Fatalf("onApplied calls = %v, want one with the post-retry config", landed)
+	}
+	// One logical op, four attempts, last one applied; exactly one
+	// effectful audit row.
+	var attempts int
+	for _, r := range act.Log() {
+		if r.OpID == 1 {
+			attempts++
+			if r.Attempt == attempts && attempts == 4 && !r.Applied {
+				t.Fatalf("final attempt not applied: %+v", r)
+			}
+		}
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	if got := countKind(act.Failures(), FailTransient); got != 3 {
+		t.Fatalf("transient failures = %d, want 3; log: %v", got, kinds(act.Failures()))
+	}
+	if n := len(acct.Changes()); n != 1 {
+		t.Fatalf("audit rows = %d, want exactly 1 (idempotent retry)", n)
+	}
+}
+
+func TestExhaustionOpensBreaker(t *testing.T) {
+	sched, acct, act := rig(t)
+	act.SetRetryPolicy(noJitter())
+	start := sched.Now()
+	acct.SetFaults(cdw.FaultPlan{
+		AlterOutages: []cdw.FaultWindow{{From: start, To: start.Add(2 * time.Hour)}},
+	})
+
+	// First operation exhausts its four attempts: no breaker yet.
+	if _, err := act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "smart-model"); err == nil {
+		t.Fatal("apply inside a full outage succeeded")
+	}
+	sched.RunFor(10 * time.Minute)
+	if got := countKind(act.Failures(), FailExhausted); got != 1 {
+		t.Fatalf("exhausted ops = %d, want 1", got)
+	}
+	if act.BreakerOpen("W") {
+		t.Fatal("breaker open after a single exhausted operation (threshold is 2)")
+	}
+
+	// Second consecutive exhaustion trips the breaker.
+	if _, err := act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "smart-model"); err == nil {
+		t.Fatal("second apply succeeded inside the outage")
+	}
+	sched.RunFor(10 * time.Minute)
+	if !act.BreakerOpen("W") {
+		t.Fatal("breaker not open after two consecutive exhausted operations")
+	}
+	if got := countKind(act.Failures(), FailBreakerOpened); got != 1 {
+		t.Fatalf("breaker-opened rows = %d, want 1", got)
+	}
+
+	// Discretionary work is rejected without touching the API.
+	logBefore := len(act.Log())
+	_, err := act.Apply(action.Action{Kind: action.SizeUp, Warehouse: "W"}, "smart-model")
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("apply with open breaker: %v, want ErrBreakerOpen", err)
+	}
+	if countKind(act.Failures(), FailRejectedBreaker) != 1 {
+		t.Fatalf("missing rejected-breaker row: %v", kinds(act.Failures()))
+	}
+	rej := act.Log()[logBefore]
+	if rej.OpID != 0 {
+		t.Fatalf("rejected op got OpID %d, want 0 (never reached the API)", rej.OpID)
+	}
+
+	// Constraint enforcement bypasses the breaker: it reaches the API
+	// (and fails transiently in the outage) instead of being rejected.
+	err = act.ApplyAlteration("W", cdw.Alteration{Size: cdw.SizeP(cdw.SizeLarge)}, "constraint")
+	if errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("enforcement rejected by the breaker")
+	}
+	if err == nil || !cdw.IsTransient(errors.Unwrap(err)) && !cdw.IsTransient(err) {
+		t.Fatalf("enforcement in outage: %v, want a transient API failure", err)
+	}
+	if !act.Pending("W") {
+		t.Fatal("enforcement not retrying despite the open breaker")
+	}
+}
+
+func TestEnforcementSupersedesPendingRetry(t *testing.T) {
+	sched, acct, act := rig(t)
+	act.SetRetryPolicy(noJitter())
+	start := sched.Now()
+	acct.SetFaults(cdw.FaultPlan{
+		AlterOutages: []cdw.FaultWindow{{From: start, To: start.Add(2 * time.Minute)}},
+	})
+	if _, err := act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "smart-model"); err == nil {
+		t.Fatal("apply inside the outage succeeded")
+	}
+	if err := act.ApplyAlteration("W", cdw.Alteration{Size: cdw.SizeP(cdw.SizeLarge)}, "constraint"); err == nil {
+		t.Fatal("enforcement first attempt succeeded inside the outage")
+	}
+	if countKind(act.Failures(), FailSuperseded) != 1 {
+		t.Fatalf("missing superseded row: %v", kinds(act.Failures()))
+	}
+	sched.RunFor(10 * time.Minute)
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size != cdw.SizeLarge {
+		t.Fatalf("size = %v, want the enforcement to win after the outage", wh.Config().Size)
+	}
+	// The superseded op must never have been reissued: op 1 stops at
+	// attempt 1, op 2 (enforcement) retries to success.
+	for _, r := range act.Log() {
+		if r.OpID == 1 && r.Attempt > 1 {
+			t.Fatalf("superseded operation was retried: %+v", r)
+		}
+	}
+	if n := len(acct.Changes()); n != 1 {
+		t.Fatalf("audit rows = %d, want 1 (only the enforcement landed)", n)
+	}
+}
+
+func TestRetryGateAbortsStaleRetry(t *testing.T) {
+	sched, acct, act := rig(t)
+	act.SetRetryPolicy(noJitter())
+	start := sched.Now()
+	acct.SetFaults(cdw.FaultPlan{
+		AlterOutages: []cdw.FaultWindow{{From: start, To: start.Add(10 * time.Minute)}},
+	})
+	var gateCalls int
+	act.SetRetryGate(func(wh, reason string, alt cdw.Alteration) bool {
+		gateCalls++
+		return false // the world changed: the alteration is no longer legal
+	})
+	if _, err := act.Apply(action.Action{Kind: action.SizeDown, Warehouse: "W"}, "smart-model"); err == nil {
+		t.Fatal("apply inside the outage succeeded")
+	}
+	sched.RunFor(5 * time.Minute)
+	if gateCalls != 1 {
+		t.Fatalf("gate consulted %d times, want once (abort ends the operation)", gateCalls)
+	}
+	if act.Pending("W") {
+		t.Fatal("operation still pending after the gate aborted it")
+	}
+	fs := act.Failures()
+	if countKind(fs, FailRetryAborted) != 1 {
+		t.Fatalf("missing retry-aborted row: %v", kinds(fs))
+	}
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size != cdw.SizeMedium {
+		t.Fatalf("size = %v, aborted retry must not touch the warehouse", wh.Config().Size)
+	}
+	// Only the first attempt reached the API.
+	for _, r := range act.Log() {
+		if r.OpID == 1 && r.Attempt > 1 {
+			t.Fatalf("aborted operation was retried: %+v", r)
+		}
+	}
+}
+
+// TestRetryTimingDeterminism pins satellite-level determinism at the
+// actuator layer: the same seed, policy (with jitter), and fault plan
+// produce byte-identical action and failure logs.
+func TestRetryTimingDeterminism(t *testing.T) {
+	run := func() string {
+		sched := simclock.NewScheduler(7)
+		acct := cdw.NewAccount(sched, cdw.DefaultSimParams())
+		if _, err := acct.CreateWarehouse(cdw.Config{
+			Name: "W", Size: cdw.SizeMedium, MinClusters: 1, MaxClusters: 3,
+			AutoSuspend: 5 * time.Minute, AutoResume: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		act := New(acct, 0.001)
+		acct.SetFaults(cdw.FaultPlan{AlterFailRate: 0.5, AlterTimeoutRate: 0.3})
+		for i := 0; i < 12; i++ {
+			kind := action.SizeUp
+			if i%2 == 1 {
+				kind = action.SizeDown
+			}
+			act.Apply(action.Action{Kind: kind, Warehouse: "W"}, "smart-model")
+			sched.RunFor(20 * time.Minute) // long enough for any retry chain to resolve
+		}
+		var b strings.Builder
+		for _, r := range act.Log() {
+			fmt.Fprintf(&b, "%s op=%d/%d applied=%v %q %s\n",
+				r.Time.Format(time.RFC3339), r.OpID, r.Attempt, r.Applied, r.Statement, r.Err)
+		}
+		for _, f := range act.Failures() {
+			b.WriteString(f.String() + "\n")
+		}
+		fmt.Fprintf(&b, "%+v", acct.FaultCounts())
+		return b.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "transient") {
+		t.Fatal("fault plan injected no transient failures in 12 operations")
+	}
+}

@@ -2,6 +2,7 @@ package cdw
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -74,6 +75,13 @@ type Account struct {
 	changes     []ConfigChange
 	overhead    []OverheadRecord
 	nextQueryID uint64
+
+	// faults, when non-nil, makes the account's API surface misbehave on
+	// demand (see faults.go). faultRng drives the probabilistic faults
+	// from the scheduler's seeded stream so runs stay deterministic.
+	faults      *FaultPlan
+	faultRng    *rand.Rand
+	faultCounts FaultCounts
 }
 
 // OverheadRecord meters credits consumed by the optimizer itself
@@ -101,6 +109,29 @@ func (a *Account) Params() SimParams { return a.params }
 
 // Subscribe registers a telemetry listener.
 func (a *Account) Subscribe(l Listener) { a.listeners = append(a.listeners, l) }
+
+// SetFaults installs a fault plan on the account's API surface. Passing
+// the zero plan effectively disables injection again (no outage windows,
+// zero rates).
+func (a *Account) SetFaults(plan FaultPlan) {
+	p := plan
+	a.faults = &p
+	if a.faultRng == nil {
+		a.faultRng = a.sched.Rand("cdw:faults")
+	}
+}
+
+// Faults returns a copy of the installed fault plan, or nil.
+func (a *Account) Faults() *FaultPlan {
+	if a.faults == nil {
+		return nil
+	}
+	p := *a.faults
+	return &p
+}
+
+// FaultCounts reports how many faults the account has injected so far.
+func (a *Account) FaultCounts() FaultCounts { return a.faultCounts }
 
 // CreateWarehouse provisions a warehouse. Like Snowflake, a newly
 // created warehouse starts running (and will auto-suspend if idle).
@@ -152,6 +183,22 @@ func (a *Account) Alter(warehouse string, alt Alteration, actor string) error {
 	if err != nil {
 		return err
 	}
+	ackLost := false
+	if a.faults != nil {
+		now := a.sched.Now()
+		fail, lost := a.faults.alterFault(now, a.faultRng)
+		if fail {
+			a.faultCounts.AlterFailures++
+			reason := "injected"
+			for _, o := range a.faults.AlterOutages {
+				if o.Contains(now) {
+					reason = "outage"
+				}
+			}
+			return &TransientError{Op: "alter", Reason: reason}
+		}
+		ackLost = lost
+	}
 	before := w.cfg
 	if err := w.applyAlteration(alt); err != nil {
 		return err
@@ -168,7 +215,43 @@ func (a *Account) Alter(warehouse string, alt Alteration, actor string) error {
 	for _, l := range a.listeners {
 		l.OnChange(ch)
 	}
+	if ackLost {
+		a.faultCounts.AlterAckLosts++
+		return &TransientError{Op: "alter", Reason: "timeout", AckLost: true}
+	}
 	return nil
+}
+
+// BillingHistory reads a warehouse's hourly billing rows over [from, to)
+// the way a live deployment would: through the account's fault model.
+// It returns the rows actually available and a watermark — the end of
+// the span the rows cover; callers must only advance their pull cursor
+// to the watermark, never to the requested end, or delayed hours are
+// silently lost. With no fault plan the watermark is to and the rows are
+// exactly Meter().Hourly(from, to, now).
+func (a *Account) BillingHistory(warehouse string, from, to time.Time) ([]HourlyRecord, time.Time, error) {
+	w, err := a.Warehouse(warehouse)
+	if err != nil {
+		return nil, from, err
+	}
+	now := a.sched.Now()
+	if a.faults != nil {
+		for _, o := range a.faults.BillingOutages {
+			if o.Contains(now) {
+				a.faultCounts.BillingFailures++
+				return nil, from, &TransientError{Op: "billing-history", Reason: "outage"}
+			}
+		}
+		if lag := a.faults.BillingLag; lag > 0 && a.faults.ratesActive(now) {
+			if avail := now.Add(-lag).Truncate(time.Hour); avail.Before(to) {
+				to = avail
+			}
+		}
+	}
+	if !to.After(from) {
+		return nil, from, nil
+	}
+	return w.Meter().Hourly(from, to, now), to, nil
 }
 
 // Changes returns the configuration audit log.

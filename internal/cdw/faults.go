@@ -1,0 +1,159 @@
+package cdw
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// This file is the account's injectable fault model. A real CDW's
+// control-plane API is not the always-up, zero-latency function call the
+// rest of the simulator pretends it is: ALTER WAREHOUSE statements fail
+// or time out, and the billing/metering history views trail reality by
+// up to hours (Snowflake documents WAREHOUSE_METERING_HISTORY latency of
+// up to 3 hours). The paper's §4.4 monitoring component exists precisely
+// because the optimizer must back off and self-correct when the world
+// misbehaves, so the simulator has to be able to misbehave on demand —
+// deterministically, from the scheduler's seeded RNG, so a failing seed
+// still reproduces byte for byte.
+
+// FaultWindow is a half-open interval [From, To) during which a fault
+// class is unconditionally active.
+type FaultWindow struct {
+	From, To time.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w FaultWindow) Contains(t time.Time) bool {
+	return !t.Before(w.From) && t.Before(w.To)
+}
+
+func (w FaultWindow) String() string {
+	return fmt.Sprintf("[%s, %s)", w.From.Format("Mon 15:04"), w.To.Format("Mon 15:04"))
+}
+
+// FaultPlan configures the account's fault model. The zero plan injects
+// nothing; an account with no plan installed behaves exactly as before
+// (and draws no random numbers, so fault-free runs are byte-identical to
+// runs on a build without fault injection at all).
+type FaultPlan struct {
+	// AlterFailRate is the probability that an ALTER WAREHOUSE call
+	// fails transiently *before* the change is applied.
+	AlterFailRate float64
+	// AlterTimeoutRate is the probability that an ALTER WAREHOUSE call
+	// times out *after* the change landed: the audit log records the
+	// change but the caller gets an error with AckLost set. This is the
+	// classic idempotency hazard retries must survive.
+	AlterTimeoutRate float64
+	// AlterOutages are windows during which every ALTER fails before
+	// applying, regardless of the rates.
+	AlterOutages []FaultWindow
+	// BillingLag delays billing-history visibility: rows for hours newer
+	// than now−BillingLag have not reached the metering view yet.
+	BillingLag time.Duration
+	// BillingOutages are windows during which billing-history reads fail
+	// outright.
+	BillingOutages []FaultWindow
+	// Until, when non-zero, deactivates the rate-based faults and the
+	// billing lag from that instant on (outage windows carry their own
+	// bounds). Harnesses use it to guarantee a clean recovery tail so
+	// end-of-run convergence invariants are decidable.
+	Until time.Time
+}
+
+// ratesActive reports whether the probabilistic faults and the billing
+// lag still apply at t.
+func (p *FaultPlan) ratesActive(t time.Time) bool {
+	return p.Until.IsZero() || t.Before(p.Until)
+}
+
+// alterFault decides the fate of one ALTER call: fail before applying,
+// apply but lose the acknowledgment, or proceed normally.
+func (p *FaultPlan) alterFault(now time.Time, rng *rand.Rand) (fail, ackLost bool) {
+	for _, w := range p.AlterOutages {
+		if w.Contains(now) {
+			return true, false
+		}
+	}
+	if !p.ratesActive(now) {
+		return false, false
+	}
+	if p.AlterFailRate > 0 && rng.Float64() < p.AlterFailRate {
+		return true, false
+	}
+	if p.AlterTimeoutRate > 0 && rng.Float64() < p.AlterTimeoutRate {
+		return false, true
+	}
+	return false, false
+}
+
+// String renders a compact description for failure reports.
+func (p *FaultPlan) String() string {
+	var parts []string
+	if p.AlterFailRate > 0 {
+		parts = append(parts, fmt.Sprintf("alter-fail %.0f%%", 100*p.AlterFailRate))
+	}
+	if p.AlterTimeoutRate > 0 {
+		parts = append(parts, fmt.Sprintf("alter-timeout %.0f%%", 100*p.AlterTimeoutRate))
+	}
+	for _, w := range p.AlterOutages {
+		parts = append(parts, "alter-outage "+w.String())
+	}
+	if p.BillingLag > 0 {
+		parts = append(parts, fmt.Sprintf("billing-lag %s", p.BillingLag))
+	}
+	for _, w := range p.BillingOutages {
+		parts = append(parts, "billing-outage "+w.String())
+	}
+	if len(parts) == 0 {
+		return "no faults"
+	}
+	if !p.Until.IsZero() {
+		parts = append(parts, "until "+p.Until.Format("Mon 15:04"))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// TransientError is a failure the caller should treat as retryable: the
+// request did not definitively fail for a structural reason (validation,
+// unknown warehouse), the API just misbehaved.
+type TransientError struct {
+	// Op names the failed API call ("alter", "billing-history").
+	Op string
+	// Reason classifies the injected cause ("outage", "injected",
+	// "timeout").
+	Reason string
+	// AckLost reports that the operation may have taken effect even
+	// though an error was returned — the caller must reconcile, not
+	// blindly reissue a relative change.
+	AckLost bool
+}
+
+func (e *TransientError) Error() string {
+	if e.AckLost {
+		return fmt.Sprintf("cdw: %s %s: response lost (change may have applied)", e.Op, e.Reason)
+	}
+	return fmt.Sprintf("cdw: %s unavailable (%s)", e.Op, e.Reason)
+}
+
+// IsTransient reports whether err is a retryable API failure.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// AckLost reports whether err indicates the operation may have taken
+// effect despite the error.
+func AckLost(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te) && te.AckLost
+}
+
+// FaultCounts tallies injected faults, for reports and tests.
+type FaultCounts struct {
+	AlterFailures   int // ALTERs failed before applying
+	AlterAckLosts   int // ALTERs applied but acknowledgment lost
+	BillingFailures int // billing-history reads denied
+}

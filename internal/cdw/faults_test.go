@@ -1,0 +1,200 @@
+package cdw
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/simclock"
+)
+
+// faultRig builds an account with one Medium warehouse "W".
+func faultRig(t *testing.T, seed int64) (*simclock.Scheduler, *Account) {
+	t.Helper()
+	sched := simclock.NewScheduler(seed)
+	acct := NewAccount(sched, DefaultSimParams())
+	if _, err := acct.CreateWarehouse(Config{
+		Name: "W", Size: SizeMedium, MinClusters: 1, MaxClusters: 3,
+		AutoSuspend: 5 * time.Minute, AutoResume: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sched, acct
+}
+
+func TestNoPlanNoFaults(t *testing.T) {
+	sched, acct := faultRig(t, 1)
+	if acct.Faults() != nil {
+		t.Fatal("fresh account has a fault plan")
+	}
+	if err := acct.Alter("W", Alteration{Size: SizeP(SizeLarge)}, "test"); err != nil {
+		t.Fatalf("alter without faults: %v", err)
+	}
+	sched.RunFor(3 * time.Hour)
+	now := sched.Now()
+	_, watermark, err := acct.BillingHistory("W", simclock.Epoch, now.Truncate(time.Hour))
+	if err != nil {
+		t.Fatalf("billing history without faults: %v", err)
+	}
+	if !watermark.Equal(now.Truncate(time.Hour)) {
+		t.Fatalf("watermark = %v, want requested end %v", watermark, now.Truncate(time.Hour))
+	}
+	if c := acct.FaultCounts(); c != (FaultCounts{}) {
+		t.Fatalf("fault counts = %+v on a plan-free account", c)
+	}
+}
+
+func TestAlterOutageFailsBeforeApply(t *testing.T) {
+	sched, acct := faultRig(t, 1)
+	start := sched.Now()
+	acct.SetFaults(FaultPlan{
+		AlterOutages: []FaultWindow{{From: start, To: start.Add(10 * time.Minute)}},
+	})
+	err := acct.Alter("W", Alteration{Size: SizeP(SizeLarge)}, "test")
+	if err == nil {
+		t.Fatal("alter succeeded inside an outage window")
+	}
+	if !IsTransient(err) || AckLost(err) {
+		t.Fatalf("outage error = %v, want transient without AckLost", err)
+	}
+	if !strings.Contains(err.Error(), "outage") {
+		t.Fatalf("outage error %q does not name the outage", err)
+	}
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size != SizeMedium {
+		t.Fatalf("size changed to %v despite pre-apply failure", wh.Config().Size)
+	}
+	if n := len(acct.Changes()); n != 0 {
+		t.Fatalf("audit rows = %d after a failed-before-apply alter", n)
+	}
+	if c := acct.FaultCounts(); c.AlterFailures != 1 {
+		t.Fatalf("fault counts = %+v, want 1 alter failure", c)
+	}
+	// Past the window the same alter goes through.
+	sched.RunFor(11 * time.Minute)
+	if err := acct.Alter("W", Alteration{Size: SizeP(SizeLarge)}, "test"); err != nil {
+		t.Fatalf("alter after the outage: %v", err)
+	}
+	if wh.Config().Size != SizeLarge {
+		t.Fatalf("size = %v after post-outage alter", wh.Config().Size)
+	}
+}
+
+func TestAckLostAppliesChangeAndRecordsAudit(t *testing.T) {
+	_, acct := faultRig(t, 1)
+	acct.SetFaults(FaultPlan{AlterTimeoutRate: 1})
+	err := acct.Alter("W", Alteration{Size: SizeP(SizeLarge)}, "test")
+	if err == nil {
+		t.Fatal("ack-lost alter returned no error")
+	}
+	if !IsTransient(err) || !AckLost(err) {
+		t.Fatalf("ack-lost error = %v, want transient with AckLost", err)
+	}
+	wh, _ := acct.Warehouse("W")
+	if wh.Config().Size != SizeLarge {
+		t.Fatalf("size = %v, want the change applied despite the lost ack", wh.Config().Size)
+	}
+	chs := acct.Changes()
+	if len(chs) != 1 || chs[0].After.Size != SizeLarge {
+		t.Fatalf("audit rows = %+v, want the landed change recorded", chs)
+	}
+	if c := acct.FaultCounts(); c.AlterAckLosts != 1 {
+		t.Fatalf("fault counts = %+v, want 1 lost ack", c)
+	}
+}
+
+// TestAlterFaultDeterminism pins the property every failing-seed replay
+// relies on: the same seed and plan produce the same fault sequence.
+func TestAlterFaultDeterminism(t *testing.T) {
+	run := func() string {
+		sched, acct := faultRig(t, 42)
+		acct.SetFaults(FaultPlan{AlterFailRate: 0.4, AlterTimeoutRate: 0.3})
+		var b strings.Builder
+		for i := 0; i < 40; i++ {
+			alt := Alteration{AutoSuspend: DurationP(time.Duration(1+i%10) * time.Minute)}
+			err := acct.Alter("W", alt, "test")
+			fmt.Fprintf(&b, "%d err=%v ackLost=%v\n", i, err, AckLost(err))
+			sched.RunFor(time.Minute)
+		}
+		fmt.Fprintf(&b, "%+v", acct.FaultCounts())
+		return b.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "err=cdw: alter unavailable") {
+		t.Fatal("40 alters at 40% fail rate injected no failures")
+	}
+}
+
+func TestBillingLagTruncatesWatermark(t *testing.T) {
+	sched, acct := faultRig(t, 1)
+	acct.SetFaults(FaultPlan{BillingLag: 2 * time.Hour})
+	sched.RunFor(5 * time.Hour)
+	now := sched.Now()
+	rows, watermark, err := acct.BillingHistory("W", simclock.Epoch, now.Truncate(time.Hour))
+	if err != nil {
+		t.Fatalf("lagged billing history: %v", err)
+	}
+	wantWM := now.Add(-2 * time.Hour).Truncate(time.Hour)
+	if !watermark.Equal(wantWM) {
+		t.Fatalf("watermark = %v, want now−lag = %v", watermark, wantWM)
+	}
+	for _, r := range rows {
+		if !r.HourStart.Before(wantWM) {
+			t.Fatalf("row for hour %v leaked past the lag watermark", r.HourStart)
+		}
+	}
+	if want := int(wantWM.Sub(simclock.Epoch) / time.Hour); len(rows) != want {
+		t.Fatalf("rows = %d, want %d (zero-credit hours included)", len(rows), want)
+	}
+}
+
+func TestBillingOutageDeniesRead(t *testing.T) {
+	sched, acct := faultRig(t, 1)
+	now := sched.Now()
+	acct.SetFaults(FaultPlan{
+		BillingOutages: []FaultWindow{{From: now, To: now.Add(time.Hour)}},
+	})
+	sched.RunFor(30 * time.Minute)
+	from := simclock.Epoch
+	rows, watermark, err := acct.BillingHistory("W", from, sched.Now().Truncate(time.Hour))
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("billing read in an outage: err=%v, want transient", err)
+	}
+	if len(rows) != 0 || !watermark.Equal(from) {
+		t.Fatalf("outage read returned rows=%d watermark=%v; cursor must not advance", len(rows), watermark)
+	}
+	if c := acct.FaultCounts(); c.BillingFailures != 1 {
+		t.Fatalf("fault counts = %+v, want 1 billing failure", c)
+	}
+}
+
+// TestUntilDeactivatesRates checks the recovery-tail cutoff: rate faults
+// and the billing lag stop at Until, while explicit outage windows keep
+// their own bounds.
+func TestUntilDeactivatesRates(t *testing.T) {
+	sched, acct := faultRig(t, 1)
+	now := sched.Now()
+	acct.SetFaults(FaultPlan{AlterFailRate: 1, BillingLag: 3 * time.Hour, Until: now})
+	if err := acct.Alter("W", Alteration{Size: SizeP(SizeLarge)}, "test"); err != nil {
+		t.Fatalf("alter after Until with 100%% fail rate: %v", err)
+	}
+	sched.RunFor(2 * time.Hour)
+	end := sched.Now().Truncate(time.Hour)
+	_, watermark, err := acct.BillingHistory("W", simclock.Epoch, end)
+	if err != nil || !watermark.Equal(end) {
+		t.Fatalf("billing after Until: watermark=%v err=%v, want full span %v", watermark, err, end)
+	}
+	// An outage window placed after Until still fires.
+	later := sched.Now()
+	acct.SetFaults(FaultPlan{
+		AlterOutages: []FaultWindow{{From: later, To: later.Add(time.Hour)}},
+		Until:        now,
+	})
+	if err := acct.Alter("W", Alteration{Size: SizeP(SizeMedium)}, "test"); err == nil {
+		t.Fatal("outage window after Until did not fire")
+	}
+}

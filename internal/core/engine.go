@@ -22,6 +22,11 @@ import (
 // the lag — the cursor detects stragglers and rebuilds itself.
 const replayLag = time.Hour
 
+// ingestFailThreshold is how many consecutive billing-history pull
+// failures put a warehouse into degraded mode: a blind optimizer must
+// stop optimizing.
+const ingestFailThreshold = 3
+
 // Engine runs Algorithm 1 for every attached warehouse of one account.
 type Engine struct {
 	acct   *cdw.Account
@@ -56,6 +61,32 @@ type smState struct {
 	// from-scratch pass over the whole period. It is discarded whenever
 	// the model it was built on is retrained or the period rolls over.
 	cursor *costmodel.ReplayCursor
+
+	// Fault-tolerance bookkeeping (see Health).
+	ingestFails   int // consecutive failed billing-history pulls
+	degraded      bool
+	degradedSince time.Time
+	degradedTicks int
+	recoveries    int
+}
+
+// Health reports the engine's fault-handling state for one warehouse.
+type Health struct {
+	// Degraded reports safe mode: the circuit breaker is open or
+	// ingestion keeps failing, so the engine holds constraint
+	// enforcement as the only permitted action class.
+	Degraded      bool
+	DegradedSince time.Time
+	// Pending reports an actuation still retrying in the background.
+	Pending     bool
+	BreakerOpen bool
+	// IngestFailures is the current consecutive billing-pull failure
+	// count (resets on the first successful pull).
+	IngestFailures int
+	// DegradedTicks counts decision ticks spent in degraded mode;
+	// Recoveries counts degraded→normal transitions.
+	DegradedTicks int
+	Recoveries    int
 }
 
 // NewEngine creates an engine over the account. It subscribes its own
@@ -71,7 +102,7 @@ func NewEngine(acct *cdw.Account, opts Options) *Engine {
 // NewEngineWithStore creates an engine that reads telemetry from an
 // existing store (already subscribed to the account by the caller).
 func NewEngineWithStore(acct *cdw.Account, store *telemetry.Store, opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		acct:   acct,
 		sched:  acct.Scheduler(),
 		store:  store,
@@ -80,6 +111,63 @@ func NewEngineWithStore(acct *cdw.Account, store *telemetry.Store, opts Options)
 		opts:   opts,
 		models: make(map[string]*smState),
 	}
+	if opts.Retry.MaxAttempts > 0 {
+		e.act.SetRetryPolicy(opts.Retry)
+	}
+	// Operations that land on an asynchronous retry bypass tick's
+	// bookkeeping; the callback keeps the smart model's expected config
+	// in sync so a late success is not mistaken for anything else.
+	e.act.SetOnApplied(func(warehouse, reason string, act action.Action, after cdw.Config) {
+		st, ok := e.models[warehouse]
+		if !ok {
+			return
+		}
+		if act.Kind != action.NoOp {
+			st.sm.markApplied(act, after)
+			return
+		}
+		st.sm.expected = after
+	})
+	// A retried alteration was legal when decided, but the world moves
+	// while it waits out its backoff: a constraint window may open, or an
+	// external change may pause optimization. Discretionary retries are
+	// revalidated against the rules in force at retry time; enforcement
+	// ("constraint") always proceeds — it is what the rules demand.
+	e.act.SetRetryGate(func(warehouse, reason string, alt cdw.Alteration) bool {
+		if reason == "constraint" {
+			return true
+		}
+		st, ok := e.models[warehouse]
+		if !ok {
+			return true
+		}
+		if st.sm.paused {
+			return false
+		}
+		wh, err := e.acct.Warehouse(warehouse)
+		if err != nil {
+			return false
+		}
+		return st.sm.settings.Constraints.AllowsAlteration(e.sched.Now(), wh.Config(), alt)
+	})
+	return e
+}
+
+// Health reports the fault-handling state for a warehouse.
+func (e *Engine) Health(warehouse string) (Health, error) {
+	st, ok := e.models[warehouse]
+	if !ok {
+		return Health{}, fmt.Errorf("core: warehouse %s not attached", warehouse)
+	}
+	return Health{
+		Degraded:       st.degraded,
+		DegradedSince:  st.degradedSince,
+		Pending:        e.act.Pending(warehouse),
+		BreakerOpen:    e.act.BreakerOpen(warehouse),
+		IngestFailures: st.ingestFails,
+		DegradedTicks:  st.degradedTicks,
+		Recoveries:     st.recoveries,
+	}, nil
 }
 
 // Store exposes the engine's telemetry store (e.g. for dashboards).
@@ -233,15 +321,27 @@ func (e *Engine) tick(st *smState) {
 
 	// Ingest billing history since the last pull (§6.1: training data
 	// is query history + billing history). Completed hours only; the
-	// current partial hour is re-pulled next time.
+	// current partial hour is re-pulled next time. The pull goes through
+	// the account's fault-aware history API, and the cursor advances
+	// only to the returned watermark — a lagging metering view shortens
+	// this pull instead of silently losing the delayed hours.
 	hourNow := now.Truncate(time.Hour)
 	if hourNow.After(st.lastBillingPull) {
 		from := st.lastBillingPull
 		if from.IsZero() {
 			from = st.attachAt.Add(-e.opts.HistoryWindow).Truncate(time.Hour)
 		}
-		e.store.AddBilling(sm.Warehouse, wh.Meter().Hourly(from, hourNow, now))
-		st.lastBillingPull = hourNow
+		rows, watermark, err := e.acct.BillingHistory(sm.Warehouse, from, hourNow)
+		if err != nil {
+			st.ingestFails++
+			e.act.NoteIngestFailure(sm.Warehouse, err)
+		} else {
+			st.ingestFails = 0
+			if len(rows) > 0 {
+				e.store.AddBilling(sm.Warehouse, rows)
+			}
+			st.lastBillingPull = watermark
+		}
 	}
 
 	// Advance the rolling replay cursor a safe distance behind now so
@@ -271,12 +371,56 @@ func (e *Engine) tick(st *smState) {
 	st.lastChangeIdx = len(changes)
 
 	credits := wh.Meter().TotalCredits(now)
+
+	// Degraded/safe-mode bookkeeping: a blind or write-broken optimizer
+	// must stop optimizing. Enforcement stays allowed — it is the one
+	// action class the customer's rules demand regardless.
+	pending := e.act.Pending(sm.Warehouse)
+	wasDegraded := st.degraded
+	st.degraded = e.act.BreakerOpen(sm.Warehouse) || st.ingestFails >= ingestFailThreshold
+	if st.degraded {
+		if !wasDegraded {
+			st.degradedSince = now
+			sm.enterDegraded()
+		}
+		st.degradedTicks++
+	} else if wasDegraded {
+		st.recoveries++
+	}
+
+	// Reconcile expected-vs-actual. With no retry in flight and no
+	// external audit rows to explain a mismatch, the divergence is our
+	// own doing — an acknowledged-lost write that landed, or an abandoned
+	// retry that did not. Adopt reality instead of letting a stale
+	// expectation misclassify our own failed writes later.
+	if !external && !sm.paused && !pending && sm.expected != current {
+		sm.expected = current
+	}
+
+	if st.degraded || pending {
+		if enforce := sm.decideDegraded(now, current, snap, external, credits); !enforce.IsZero() {
+			reason := "constraint"
+			if sm.settings.Constraints.Required(now, current).IsZero() {
+				reason = "constraint-restore"
+			}
+			if err := e.act.ApplyAlteration(sm.Warehouse, enforce, reason); err == nil {
+				sm.expected = wh.Config()
+			}
+		}
+		return
+	}
+
 	act, enforce := sm.decide(now, current, snap, external, credits, e.opts)
 
 	if !enforce.IsZero() {
 		// Enforcement proper (a window demands compliance now) and the
 		// post-window restore are logged under distinct reasons so audits
-		// can hold each to its own invariant.
+		// can hold each to its own invariant. On failure the error is
+		// already in the actuator's failure log and retries continue in
+		// the background; the window is still active next tick, so
+		// enforcement re-fires until the config complies — expected is
+		// only advanced on a synchronous success (the OnApplied callback
+		// covers asynchronous ones).
 		reason := "constraint"
 		if sm.settings.Constraints.Required(now, current).IsZero() {
 			reason = "constraint-restore"
@@ -314,13 +458,21 @@ func (e *Engine) retrain(st *smState) {
 func (e *Engine) bill(st *smState) {
 	sm := st.sm
 	now := e.sched.Now()
-	if sm.cost == nil {
-		st.billStart = now
-		st.cursor = nil
-		return
-	}
 	wh, err := e.acct.Warehouse(sm.Warehouse)
 	if err != nil {
+		return
+	}
+	if sm.cost == nil {
+		// No trained cost model yet, so no counterfactual — but the
+		// period must still close with an invoice, because harnesses are
+		// promised (see BillingPeriodStart) that invoices tile the time
+		// axis with no gaps. Claim zero savings: without = actual.
+		if now.After(st.billStart) {
+			actual := wh.Meter().CreditsBetween(st.billStart, now, now)
+			e.ledger.Add(sm.Warehouse, st.billStart, now, actual, actual)
+		}
+		st.billStart = now
+		st.cursor = nil
 		return
 	}
 	log := e.store.Log(sm.Warehouse)

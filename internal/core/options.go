@@ -9,6 +9,7 @@ package core
 import (
 	"time"
 
+	"kwo/internal/actuator"
 	"kwo/internal/policy"
 	"kwo/internal/rl"
 )
@@ -52,6 +53,10 @@ type Options struct {
 	// savings after 20/43/83 hours) instead of an immediate jump.
 	// 0 disables the ramp.
 	RampStepHours float64
+	// Retry overrides the actuator's retry/backoff and circuit-breaker
+	// policy. Leave MaxAttempts at zero to keep the actuator's default
+	// policy (see actuator.DefaultRetryPolicy).
+	Retry actuator.RetryPolicy
 }
 
 // DefaultOptions returns production-plausible defaults.

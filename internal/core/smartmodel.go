@@ -196,6 +196,50 @@ func PerfPenalty(snap monitor.Snapshot) float64 {
 	return p
 }
 
+// Expected returns the configuration KWO currently believes is in
+// effect — after recovery from faults, harnesses assert it reconverges
+// with the warehouse's actual configuration.
+func (sm *SmartModel) Expected() cdw.Config { return sm.expected }
+
+// enterDegraded drops the pending RL transition on entry to degraded
+// mode: the reward that would span the outage would attribute
+// fault-window spend and latency to the last normal-mode action.
+func (sm *SmartModel) enterDegraded() { sm.haveLast = false }
+
+// decideDegraded is the safe-mode decision tick, used while actuation
+// or ingestion keeps failing (and while a previous actuation is still
+// retrying): no smart-model actions, no self-correction reverts, no
+// agent updates — constraint enforcement is the only permitted action
+// class, because the customer's hard rules hold no matter how unwell
+// the API surface is. External-change pause bookkeeping still runs so
+// foreign alterations observed during an outage are not forgotten.
+func (sm *SmartModel) decideDegraded(now time.Time, current cdw.Config, snap monitor.Snapshot,
+	externalChange bool, creditsNow float64) cdw.Alteration {
+
+	sm.windows++
+	if externalChange && !sm.paused {
+		sm.paused = true
+		sm.preExternal = sm.expected
+		sm.Pauses++
+	}
+	if sm.paused {
+		if current != sm.preExternal {
+			return cdw.Alteration{}
+		}
+		sm.paused = false
+		sm.expected = current
+	}
+	if req := sm.settings.Constraints.Required(now, current); !req.IsZero() {
+		if sm.enforceRestore == nil {
+			prev := current
+			sm.enforceRestore = &prev
+		}
+		sm.Constrained++
+		return req
+	}
+	return cdw.Alteration{}
+}
+
 // decide runs one Algorithm 1 decision tick. It returns the chosen
 // action (NoOp when nothing should be done) and, when a constraint
 // window demands it, the raw alteration that must be applied to bring

@@ -150,9 +150,14 @@ func AblationBackoff(seed int64) AblationBackoffResult {
 		cfg := cdw.Config{Name: "W", Size: cdw.SizeLarge, MinClusters: 1, MaxClusters: 1,
 			AutoSuspend: 10 * time.Minute, AutoResume: true}
 		spikeAt := Epoch.Add(4*24*time.Hour + 14*time.Hour)
+		// The spike must be dense enough to overrun the settled (small)
+		// configuration's concurrency slots and queue for several decision
+		// ticks — that sustained objective pressure is what engages the
+		// §4.3/§4.4 self-correction loop deterministically, rather than
+		// relying on an unrelated cost-cut landing right before the spike.
 		gen := workload.Mixed{Parts: []workload.Generator{
 			workload.BI{Pool: biPool, PeakQPH: 60, WeekendFactor: 0.3},
-			workload.Spike{Pool: biPool, At: spikeAt, Count: 400, Over: 30 * time.Minute},
+			workload.Spike{Pool: biPool, At: spikeAt, Count: 2500, Over: 30 * time.Minute},
 		}, Label: "bi+spike"}
 		opts := ExperimentOptions()
 		opts.DisableSelfCorrection = disable

@@ -148,6 +148,30 @@ func (e *EWMA) Add(x float64) float64 {
 	return e.value
 }
 
+// AddWeighted folds in an observation at a fraction w of the usual
+// smoothing weight (w in (0, 1]; w = 1 is Add). Callers use it for
+// observations that should nudge the average without being allowed to
+// pull it — e.g. the monitor down-weights windows it already flagged as
+// degraded so a regression cannot teach the baseline to accept itself.
+// A weighted observation never seeds an empty average and does not
+// count toward Count.
+func (e *EWMA) AddWeighted(x, w float64) float64 {
+	if e.n == 0 || w <= 0 {
+		return e.value
+	}
+	if w >= 1 {
+		e.n-- // counteract Add's increment: weighted folds don't count
+		return e.Add(x)
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.2
+	}
+	a *= w
+	e.value = a*x + (1-a)*e.value
+	return e.value
+}
+
 // Value returns the current average (0 before any observation).
 func (e *EWMA) Value() float64 { return e.value }
 

@@ -101,16 +101,41 @@ func New(store *telemetry.Store, warehouse string, window time.Duration, th Thre
 	}
 }
 
+// degradedFoldWeight is the fraction of the normal smoothing weight a
+// degraded window contributes to the baselines. Folding degraded
+// windows at full weight lets a regression teach the baseline to accept
+// the regression — after a few windows the spike detectors disarm
+// themselves and the self-correction loop goes blind. A heavy
+// down-weight keeps sustained real shifts converging (a genuinely
+// changed workload still becomes the baseline, just ~8x slower) while a
+// KWO-caused regression keeps firing long enough to be reverted.
+const degradedFoldWeight = 0.125
+
 // Observe computes the current snapshot and folds the window into the
 // baselines. Call it once per decision tick.
 func (m *Monitor) Observe(now time.Time) Snapshot {
 	snap := m.Peek(now)
-	// Fold into baselines. Spiking windows are still folded (slowly)
-	// so a genuinely changed workload eventually becomes the baseline
-	// — the models "constantly learn and improve".
+	// Fold into baselines. Spiking windows are still folded, but heavily
+	// down-weighted, so a genuinely changed workload eventually becomes
+	// the baseline — the models "constantly learn and improve" — without
+	// the detectors disarming themselves against a live regression.
 	if snap.Stats.Queries > 0 {
-		m.p99.Add(snap.Stats.P99Latency.Seconds())
-		m.queue.Add(snap.Stats.P99Queue.Seconds())
+		// Down-weighting is per metric: a queue spike must not drag the
+		// queue baseline up, but the same window's latency observation
+		// may be fine and keeps its baseline tracking. The load baseline
+		// always folds at full weight — arrival rate is driven by the
+		// workload, not by anything KWO did, so a load spike is exactly
+		// the "genuinely changed workload" case that must keep
+		// converging.
+		fold := func(e *ml.EWMA, x float64, spiked bool) {
+			if spiked {
+				e.AddWeighted(x, degradedFoldWeight)
+			} else {
+				e.Add(x)
+			}
+		}
+		fold(&m.p99, snap.Stats.P99Latency.Seconds(), snap.LatencySpike)
+		fold(&m.queue, snap.Stats.P99Queue.Seconds(), snap.QueueSpike)
 		m.qph.Add(snap.Stats.QPH)
 		m.n++
 	}

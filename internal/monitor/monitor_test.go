@@ -174,3 +174,49 @@ func TestNilLogSafe(t *testing.T) {
 		t.Fatalf("nil log snapshot = %+v", snap)
 	}
 }
+
+// A sustained regression must keep firing: before degraded windows were
+// down-weighted, ~6 windows of queueing folded at full weight taught the
+// queue baseline to accept the queueing and the detector disarmed itself
+// — exactly while a KWO-caused regression still needed reverting.
+func TestSustainedQueueingKeepsFiring(t *testing.T) {
+	s := telemetry.NewStore()
+	m, now := warmedMonitor(s)
+	for i := 0; i < 30; i++ {
+		now = now.Add(10 * time.Minute)
+		feed(s, now, 10, 2*time.Second, 30*time.Second, 0)
+		snap := m.Observe(now)
+		if !snap.QueueSpike {
+			t.Fatalf("queue spike disarmed itself after %d degraded windows (baseline %s)",
+				i, snap.BaselineQueue)
+		}
+	}
+}
+
+// The flip side: down-weighting must slow convergence, not stop it. A
+// workload whose latency genuinely shifted (without queueing pressure
+// staying pathological forever) still becomes the new baseline.
+func TestShiftedWorkloadEventuallyConverges(t *testing.T) {
+	s := telemetry.NewStore()
+	m, now := warmedMonitor(s)
+	fired := 0
+	for i := 0; i < 400; i++ {
+		now = now.Add(10 * time.Minute)
+		feed(s, now, 10, 5*time.Second, 100*time.Millisecond, 0) // 2.5x slower for good
+		snap := m.Observe(now)
+		if snap.LatencySpike {
+			fired++
+		} else if i > 2 {
+			break
+		}
+	}
+	if fired == 0 {
+		t.Fatal("shifted workload never flagged at all")
+	}
+	now = now.Add(10 * time.Minute)
+	feed(s, now, 10, 5*time.Second, 100*time.Millisecond, 0)
+	if snap := m.Observe(now); snap.LatencySpike {
+		t.Fatalf("baseline never converged to the shifted workload (baseline %s, fired %d windows)",
+			snap.BaselineP99, fired)
+	}
+}

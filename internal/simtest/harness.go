@@ -35,6 +35,9 @@ type Result struct {
 	// Faults describes the scenario's injected faults.
 	Faults []string
 
+	// Replay is the command that reproduces the run.
+	Replay string
+
 	// Determinism fingerprint: two runs of the same scenario must agree
 	// on every field below, byte for byte.
 	Snapshot       []byte
@@ -46,6 +49,11 @@ type Result struct {
 
 	Scheduled int
 	Completed int
+
+	// Fault-injection fingerprint: how often the API misbehaved and how
+	// the actuator coped must reproduce too.
+	FaultCounts      cdw.FaultCounts
+	ActuatorFailures int
 }
 
 // Failed reports whether any invariant was violated.
@@ -70,7 +78,11 @@ func (r *Result) Report() string {
 			s += "  " + e + "\n"
 		}
 	}
-	s += fmt.Sprintf("replay: go test ./internal/simtest -run 'TestSim' -seed=%d -v", r.Seed)
+	replay := r.Replay
+	if replay == "" {
+		replay = fmt.Sprintf("go test ./internal/simtest -run 'TestSim' -seed=%d -v", r.Seed)
+	}
+	s += "replay: " + replay
 	return s
 }
 
@@ -101,6 +113,13 @@ type harness struct {
 	invoiceIdx int
 	billingIdx int
 
+	// effectiveOps counts, per actuator operation ID, the audit rows in
+	// which the operation actually changed the configuration. Retries
+	// reissue the exact absolute alteration, so even after an
+	// acknowledged-lost apply a logical operation must take effect at
+	// most once.
+	effectiveOps map[uint64]int
+
 	prevCredits       float64
 	nonCompliantSince time.Time
 
@@ -117,6 +136,9 @@ func RunScenario(sc Scenario) *Result {
 	h := &harness{sc: sc, name: sc.Warehouse.Name, autoResumeOn: sc.Warehouse.AutoResume}
 	h.sched = simclock.NewScheduler(sc.Seed)
 	h.acct = cdw.NewAccount(h.sched, sc.Params)
+	if sc.Plan != nil {
+		h.acct.SetFaults(*sc.Plan)
+	}
 	h.store = telemetry.NewStore()
 	h.acct.Subscribe(h.store)
 	h.acct.Subscribe(h)
@@ -188,9 +210,14 @@ func (h *harness) result() *Result {
 		EventTail: h.events,
 		Steps:     h.sched.Steps(),
 		Scheduled: h.scheduled,
+		Replay:    h.sc.Replay,
 	}
 	for _, f := range h.sc.Faults {
 		res.Faults = append(res.Faults, f.describe())
+	}
+	if h.sc.Plan != nil {
+		res.Faults = append(res.Faults, "api faults: "+h.sc.Plan.String())
+		res.FaultCounts = h.acct.FaultCounts()
 	}
 	if h.wh != nil {
 		res.TotalCredits = h.wh.Meter().TotalCredits(h.sched.Now())
@@ -200,6 +227,7 @@ func (h *harness) result() *Result {
 	if h.eng != nil {
 		res.AppliedActions = h.eng.Actuator().AppliedCount()
 		res.Invoices = len(h.eng.Ledger().Invoices())
+		res.ActuatorFailures = h.eng.Actuator().FailureCount()
 	}
 	if snap, err := h.store.SnapshotBytes(); err == nil {
 		res.Snapshot = snap
@@ -326,8 +354,20 @@ func (h *harness) fireExternalAlter(f Fault) {
 	}
 	h.logEvent(f.At, "fault: external "+alt.String())
 	if err := h.acct.Alter(h.name, alt, chaosActor); err != nil {
-		h.failf(f.At, "external alter rejected: %v", err)
-		return
+		switch {
+		case cdw.AckLost(err):
+			// The change landed; only the acknowledgment was lost. The
+			// chaos admin behaves like a human: shrugs and moves on.
+			h.logEvent(f.At, "fault: external alter applied but ack lost")
+		case cdw.IsTransient(err):
+			// Fell to the injected API faults before applying: nothing
+			// changed, so there is nothing to undo or assert.
+			h.logEvent(f.At, "fault: external alter lost to API fault")
+			return
+		default:
+			h.failf(f.At, "external alter rejected: %v", err)
+			return
+		}
 	}
 
 	// Undo restores the pre-alteration values of the altered fields.
@@ -366,20 +406,27 @@ func (h *harness) fireExternalAlter(f Fault) {
 		undoAt := f.At.Add(f.UndoAfter)
 		h.sched.Schedule(undoAt, "simtest:external-undo", func() {
 			h.logEvent(undoAt, "fault: external undo "+undo.String())
-			_ = h.acct.Alter(h.name, undo, chaosActor)
+			err := h.acct.Alter(h.name, undo, chaosActor)
+			if cdw.IsTransient(err) && !cdw.AckLost(err) {
+				// The undo itself fell to the API faults before applying:
+				// the external change stays in force, so the engine may
+				// legitimately remain paused.
+				h.logEvent(undoAt, "fault: external undo lost to API fault")
+				return
+			}
+			if h.sc.SoleExternal && started {
+				checkAt := undoAt.Add(2*h.sc.Opts.DecideEvery + time.Second)
+				h.sched.Schedule(checkAt, "simtest:unpause-check", func() {
+					sm := h.model()
+					if sm == nil {
+						return
+					}
+					if sm.Paused() {
+						h.failf(checkAt, "optimization still paused 2 ticks after the external change was undone")
+					}
+				})
+			}
 		})
-		if h.sc.SoleExternal && started {
-			checkAt := undoAt.Add(2*h.sc.Opts.DecideEvery + time.Second)
-			h.sched.Schedule(checkAt, "simtest:unpause-check", func() {
-				sm := h.model()
-				if sm == nil {
-					return
-				}
-				if sm.Paused() {
-					h.failf(checkAt, "optimization still paused 2 ticks after the external change was undone")
-				}
-			})
-		}
 	}
 }
 

@@ -353,10 +353,19 @@ func (h *harness) checkBillingRows(now time.Time) {
 	}
 }
 
-// checkAudit pairs every KWO-actor audit row with its actuator record
-// and holds each reason class to its own rule: discretionary changes and
-// restores must respect active prohibitions and enforcement bounds;
-// enforcement itself must land on a compliant configuration.
+// checkAudit pairs every KWO-actor audit row with the actuator attempt
+// that produced it and holds each reason class to its own rule:
+// discretionary changes and restores must respect active prohibitions
+// and enforcement bounds; enforcement itself must land on a compliant
+// configuration.
+//
+// Under injected API faults an audit row may also come from an
+// acknowledged-lost attempt — the change landed but the call returned an
+// error, so the matching record is not Applied. Attempts are therefore
+// matched by timestamp and statement, and a second invariant rides
+// along: because retries reissue the exact absolute alteration, one
+// logical operation (OpID) may change the configuration at most once,
+// no matter how many of its attempts reached the warehouse.
 func (h *harness) checkAudit(now time.Time) {
 	if h.eng == nil {
 		return
@@ -368,17 +377,29 @@ func (h *harness) checkAudit(now time.Time) {
 		if c.Actor != actuator.Actor {
 			continue
 		}
-		for ai < len(recs) && !recs[ai].Applied {
+		// The audit log and the attempt log are both chronological, and
+		// every KWO audit row was written by exactly one attempt (applied,
+		// or applied-with-lost-ack); records that never reached the API
+		// (OpID 0) or failed before applying match no row and are skipped.
+		for ai < len(recs) && !(recs[ai].OpID != 0 && recs[ai].Time.Equal(c.Time) &&
+			recs[ai].Statement == c.Statement) {
 			ai++
 		}
 		if ai >= len(recs) {
-			h.failf(now, "KWO audit row at %v has no actuator record", c.Time)
+			h.failf(now, "KWO audit row at %v (%s) has no actuator record", c.Time, c.Statement)
 			break
 		}
 		rec := recs[ai]
 		ai++
-		if !rec.Time.Equal(c.Time) {
-			h.failf(now, "actuator record time %v disagrees with audit row time %v", rec.Time, c.Time)
+		if c.Before != c.After {
+			if h.effectiveOps == nil {
+				h.effectiveOps = make(map[uint64]int)
+			}
+			h.effectiveOps[rec.OpID]++
+			if h.effectiveOps[rec.OpID] > 1 {
+				h.failf(c.Time, "operation %d changed the configuration twice (attempt %d, %s) — retry was not idempotent",
+					rec.OpID, rec.Attempt, c.Statement)
+			}
 		}
 		rules := h.rulesAt(c.Time)
 		switch rec.Reason {
@@ -455,6 +476,9 @@ func (h *harness) checkInvoices(now time.Time) {
 			h.failf(inv.To, "invoice actual %.9f disagrees with meter %.9f for [%v, %v)",
 				inv.ActualCredits, actual, inv.From, inv.To)
 		}
+		if i == 0 && !inv.From.Equal(h.attachAt) {
+			h.failf(inv.To, "first invoice starts %v, but the engine attached at %v", inv.From, h.attachAt)
+		}
 		if i > 0 && !inv.From.Equal(invs[i-1].To) {
 			h.failf(inv.To, "billing periods do not tile: invoice %d starts %v, previous ended %v",
 				i, inv.From, invs[i-1].To)
@@ -486,6 +510,21 @@ func (h *harness) checkEnforcementSLA(now time.Time) {
 		h.nonCompliantSince = now
 		return
 	}
+	// An active ALTER outage excuses non-compliance: enforcement is
+	// reissued every tick but cannot land while the control plane is
+	// down, so the SLA clock restarts when an outage overlapping the
+	// non-compliant span ends.
+	if p := h.sc.Plan; p != nil {
+		for _, w := range p.AlterOutages {
+			if w.From.Before(now) && w.To.After(h.nonCompliantSince) {
+				since := w.To
+				if since.After(now) {
+					since = now
+				}
+				h.nonCompliantSince = since
+			}
+		}
+	}
 	if now.Sub(h.nonCompliantSince) > grace {
 		h.failf(now, "enforcement SLA: configuration non-compliant since %v (still requires %s)",
 			h.nonCompliantSince.Format("Mon 15:04:05"), req.String())
@@ -513,6 +552,47 @@ func (h *harness) finalChecks(horizon time.Time) {
 	}
 	if h.autoResumeOn && rejected > 0 {
 		h.failf(horizon, "%d queries rejected although auto-resume stayed enabled", rejected)
+	}
+
+	// No lost invoices: the bill loop fires every BillEvery from attach
+	// until the engine stops, and every firing must close its period with
+	// an invoice — even before the cost model has trained (zero savings)
+	// and even when pulls or actions were failing. The schedule alone
+	// predicts the count.
+	if h.eng != nil && h.engineStarted {
+		want := 0
+		for t := h.attachAt.Add(h.sc.Opts.BillEvery); t.Before(h.end); t = t.Add(h.sc.Opts.BillEvery) {
+			want++
+		}
+		if got := len(h.eng.Ledger().Invoices()); got != want {
+			h.failf(horizon, "lost invoice(s): %d issued, the billing schedule predicts %d", got, want)
+		}
+	}
+
+	// Billing ingestion is gapless: rows land in strict one-hour steps,
+	// so a lagging or failing metering view may delay hours but never
+	// lose them (the pull cursor only ever advances to the watermark).
+	if log := h.store.Log(h.name); log != nil {
+		for i := 1; i < len(log.Billing); i++ {
+			if d := log.Billing[i].HourStart.Sub(log.Billing[i-1].HourStart); d != time.Hour {
+				h.failf(horizon, "billing history gap: row %d at %s follows row %d at %s",
+					i, log.Billing[i].HourStart.Format("Mon 15:04"),
+					i-1, log.Billing[i-1].HourStart.Format("Mon 15:04"))
+				break
+			}
+		}
+	}
+
+	// Reconciliation converges: after the fault plan's recovery tail
+	// (no injected ALTER faults in the last two hours of the run), the
+	// model's expected configuration must equal reality. Skipped while
+	// paused — reconciliation is deliberately suspended when an external
+	// change is in force.
+	if sm := h.model(); sm != nil && h.engineStarted && !sm.Paused() {
+		if cur := h.wh.Config(); sm.Expected() != cur {
+			h.failf(horizon, "expected configuration did not reconcile with reality:\n    expected: %+v\n    actual:   %+v",
+				sm.Expected(), cur)
+		}
 	}
 
 	// Savings must never exceed the counterfactual: cumulative ledger

@@ -137,6 +137,14 @@ type Scenario struct {
 	SoleExternal bool
 	// SpikePool supplies templates for injected spikes.
 	SpikePool *workload.Pool
+
+	// Plan, when non-nil, installs the account's API fault model: ALTER
+	// failures and lost acknowledgments, control-plane outage windows,
+	// and billing-history lag. Nil keeps the API perfectly reliable.
+	Plan *cdw.FaultPlan
+	// Replay overrides the replay command printed in failure reports
+	// (fault scenarios reproduce through a different test).
+	Replay string
 }
 
 // GenerateScenario derives a randomized scenario from the seed. soak
@@ -266,6 +274,65 @@ func GenerateScenario(seed int64, soak bool) Scenario {
 		sc.Faults = append(sc.Faults, f)
 	}
 	sc.SoleExternal = externals == 1
+	return sc
+}
+
+// GenerateFaultScenario derives the same scenario as GenerateScenario
+// and then overlays an API fault plan from an independent RNG stream, so
+// the fault sweep explores the same workload space with a misbehaving
+// control plane on top. The plan always deactivates its rate-based
+// faults two hours before the engine stops (and bounds every outage
+// window by that cutoff), guaranteeing a clean recovery tail in which
+// retries drain, the circuit breaker closes, and the reconciliation
+// invariant becomes decidable.
+func GenerateFaultScenario(seed int64, soak bool) Scenario {
+	sc := GenerateScenario(seed, soak)
+	rng := rand.New(rand.NewSource(seed ^ 0xfa177e57))
+
+	attach := simclock.Epoch.Add(sc.PreRun)
+	end := simclock.Epoch.Add(sc.PreRun + sc.Run)
+	plan := &cdw.FaultPlan{Until: end.Add(-2 * time.Hour)}
+
+	plan.AlterFailRate = 0.05 + 0.30*rng.Float64()
+	if rng.Intn(2) == 0 {
+		plan.AlterTimeoutRate = 0.05 + 0.20*rng.Float64()
+	}
+	if rng.Intn(2) == 0 {
+		// Snowflake documents metering-view latency of up to 3 hours.
+		plan.BillingLag = time.Duration(30+rng.Intn(150)) * time.Minute
+	}
+
+	// Outage windows live well inside the faulted span so each one is
+	// followed by time to recover.
+	lo, hi := attach.Add(time.Hour), plan.Until.Add(-time.Hour)
+	window := func(minMin, maxMin int) (cdw.FaultWindow, bool) {
+		if !hi.After(lo) {
+			return cdw.FaultWindow{}, false
+		}
+		from := lo.Add(time.Duration(rng.Int63n(int64(hi.Sub(lo)))))
+		to := from.Add(time.Duration(minMin+rng.Intn(maxMin-minMin+1)) * time.Minute)
+		if to.After(plan.Until) {
+			to = plan.Until
+		}
+		return cdw.FaultWindow{From: from, To: to}, true
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		if w, ok := window(10, 30); ok {
+			plan.AlterOutages = append(plan.AlterOutages, w)
+		}
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		if w, ok := window(20, 60); ok {
+			plan.BillingOutages = append(plan.BillingOutages, w)
+		}
+	}
+
+	sc.Plan = plan
+	// The pause/unpause SLA assumes the chaos actor's ALTER and its undo
+	// both land; under injected API faults either call may fail, so the
+	// unambiguous-external assertions are disabled.
+	sc.SoleExternal = false
+	sc.Replay = fmt.Sprintf("go test ./internal/simtest -run 'TestSimFaults' -fault-seed=%d -v", seed)
 	return sc
 }
 

@@ -9,7 +9,10 @@ import (
 	"testing"
 )
 
-var seedFlag = flag.Int64("seed", -1, "run only the scenario for this seed, verbosely")
+var (
+	seedFlag      = flag.Int64("seed", -1, "run only the scenario for this seed, verbosely")
+	faultSeedFlag = flag.Int64("fault-seed", -1, "run only the fault-injection scenario for this seed, verbosely")
+)
 
 // soakMode reports whether the long-running soak mode is enabled via
 // KWO_SIMTEST_SOAK. The value, when numeric, overrides the seed count.
@@ -69,6 +72,58 @@ func TestSim(t *testing.T) {
 	}
 }
 
+// TestSimFaults is the fault-injection sweep: the same end-to-end
+// scenarios as TestSim, but with the account's API fault model installed
+// — ALTER failures and lost acknowledgments, control-plane and
+// billing-history outage windows, metering lag. On top of the regular
+// invariants the harness asserts that no invoice is lost, no ingested
+// billing hour is skipped, no operation takes effect twice, and that
+// once the plan's recovery tail passes, the engine's expected
+// configuration reconciles with reality. Every 4th seed runs twice to
+// pin retry/backoff determinism.
+func TestSimFaults(t *testing.T) {
+	if *faultSeedFlag >= 0 {
+		sc := GenerateFaultScenario(*faultSeedFlag, os.Getenv("KWO_SIMTEST_SOAK") != "")
+		t.Logf("scenario: %+v", sc)
+		t.Logf("fault plan: %s", sc.Plan.String())
+		for _, f := range sc.Faults {
+			t.Logf("fault: %s", f.describe())
+		}
+		res := RunScenario(sc)
+		t.Logf("steps=%d credits=%.4f audit=%d applied=%d invoices=%d", res.Steps,
+			res.TotalCredits, res.AuditRows, res.AppliedActions, res.Invoices)
+		t.Logf("injected: %+v, actuator failure log: %d rows", res.FaultCounts, res.ActuatorFailures)
+		if res.Failed() {
+			t.Fatal(res.Report())
+		}
+		return
+	}
+
+	seeds := 160
+	soak, n := soakMode()
+	if soak {
+		seeds = n
+	}
+	if testing.Short() && !soak {
+		seeds = 100
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := GenerateFaultScenario(seed, soak)
+			res := RunScenario(sc)
+			if res.Failed() {
+				t.Fatal(res.Report())
+			}
+			if seed%4 == 0 {
+				again := RunScenario(GenerateFaultScenario(seed, soak))
+				compareRuns(t, res, again)
+			}
+		})
+	}
+}
+
 // compareRuns asserts the determinism fingerprint: the same seed must
 // reproduce the identical simulation, byte for byte.
 func compareRuns(t *testing.T, a, b *Result) {
@@ -96,5 +151,11 @@ func compareRuns(t *testing.T, a, b *Result) {
 	if !bytes.Equal(a.Snapshot, b.Snapshot) {
 		t.Errorf("non-deterministic telemetry snapshot: %d vs %d bytes",
 			len(a.Snapshot), len(b.Snapshot))
+	}
+	if a.FaultCounts != b.FaultCounts {
+		t.Errorf("non-deterministic fault injection: %+v vs %+v", a.FaultCounts, b.FaultCounts)
+	}
+	if a.ActuatorFailures != b.ActuatorFailures {
+		t.Errorf("non-deterministic failure log: %d vs %d rows", a.ActuatorFailures, b.ActuatorFailures)
 	}
 }

@@ -102,6 +102,17 @@ func (s *Simulation) Alter(warehouse string, alt Alteration, actor string) error
 	return s.acct.Alter(warehouse, alt, actor)
 }
 
+// InjectFaults installs an API fault plan on the account: from now on
+// ALTER calls fail or lose their acknowledgment at the configured rates
+// and the billing-history view lags or goes dark per the plan. Faults
+// draw from the simulation's seeded RNG, so a faulty run is exactly as
+// reproducible as a clean one. Installing the zero plan disables
+// injection.
+func (s *Simulation) InjectFaults(plan FaultPlan) { s.acct.SetFaults(plan) }
+
+// FaultCounts reports how many API faults have been injected so far.
+func (s *Simulation) FaultCounts() FaultCounts { return s.acct.FaultCounts() }
+
 // Stats returns telemetry statistics for a warehouse over [from, to).
 func (s *Simulation) Stats(warehouse string, from, to time.Time) WindowStats {
 	return s.store.Log(warehouse).Stats(from, to)
@@ -205,6 +216,20 @@ func (o *Optimizer) SetConstraints(warehouse string, cs Constraints) error {
 	}
 	sm.SetConstraints(cs)
 	return nil
+}
+
+// Health reports a warehouse's fault-handling state: degraded/safe
+// mode, pending retries, circuit-breaker status, consecutive ingestion
+// failures, and recovery counts.
+func (o *Optimizer) Health(warehouse string) (Health, error) {
+	return o.engine.Health(warehouse)
+}
+
+// ActuationFailures returns the actuator's structured failure log —
+// every failed attempt, abandoned operation, breaker transition, and
+// ingestion failure, in order.
+func (o *Optimizer) ActuationFailures() []ActuationFailure {
+	return o.engine.Actuator().Failures()
 }
 
 // Paused reports whether optimization of a warehouse is paused because

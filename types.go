@@ -1,6 +1,7 @@
 package kwo
 
 import (
+	"kwo/internal/actuator"
 	"kwo/internal/cdw"
 	"kwo/internal/core"
 	"kwo/internal/policy"
@@ -30,6 +31,15 @@ type (
 	HourlyRecord = cdw.HourlyRecord
 	// SimParams are the simulated CDW's physical constants.
 	SimParams = cdw.SimParams
+	// FaultPlan configures the account's API fault model: ALTER
+	// failures and lost acknowledgments, control-plane outage windows,
+	// and billing-history lag.
+	FaultPlan = cdw.FaultPlan
+	// FaultWindow is a half-open interval during which a fault class is
+	// unconditionally active.
+	FaultWindow = cdw.FaultWindow
+	// FaultCounts tallies injected API faults.
+	FaultCounts = cdw.FaultCounts
 )
 
 // Warehouse sizes.
@@ -89,6 +99,16 @@ type (
 	Invoice = pricing.Invoice
 	// WindowStats summarizes telemetry over a time window.
 	WindowStats = telemetry.WindowStats
+	// Health reports the engine's fault-handling state for a warehouse:
+	// degraded/safe mode, pending retries, circuit breaker, ingestion
+	// failures.
+	Health = core.Health
+	// RetryPolicy tunes the actuator's retry/backoff and circuit
+	// breaker.
+	RetryPolicy = actuator.RetryPolicy
+	// ActuationFailure is one row of the actuator's structured failure
+	// log.
+	ActuationFailure = actuator.Failure
 )
 
 // Workload generation types.
@@ -108,6 +128,10 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 
 // DefaultSimParams returns the simulator's physical constants.
 func DefaultSimParams() SimParams { return cdw.DefaultSimParams() }
+
+// DefaultRetryPolicy returns the actuator's default retry/backoff and
+// circuit-breaker settings.
+func DefaultRetryPolicy() RetryPolicy { return actuator.DefaultRetryPolicy() }
 
 // NewPool builds a weighted template pool; skew 0 draws uniformly,
 // skew ≈ 1 gives dashboard-like heavy reuse of the first templates.
