@@ -24,6 +24,7 @@ func main() {
 	days := flag.Int("days", 10, "total simulated days (KWO active from day 3)")
 	aggregate := flag.String("aggregate", "daily", "series aggregation: daily, weekly")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	eventTail := flag.Int("events", 12, "how many recent trace events to print")
 	flag.Parse()
 
 	var gen kwo.Generator
@@ -123,4 +124,36 @@ func main() {
 		fmt.Println(inv)
 	}
 	fmt.Printf("\ncumulative estimated savings: %.2f credits\n", opt.TotalSavings())
+
+	// Live metrics straight from the observability registry — the same
+	// numbers /metrics would serve, so the dashboard and a Prometheus
+	// scrape can never disagree.
+	hub := opt.Obs()
+	fmt.Println("\nlive metrics (non-zero series from the obs registry)")
+	fmt.Println("------------------------------------------------------------")
+	for _, fam := range hub.Registry.Snapshot() {
+		for _, s := range fam.Samples {
+			if s.Value == 0 && s.Sum == 0 {
+				continue
+			}
+			name := fam.Name
+			if len(s.LabelValues) > 0 {
+				name += "{"
+				for i, l := range fam.Labels {
+					if i > 0 {
+						name += ","
+					}
+					name += fmt.Sprintf("%s=%q", l, s.LabelValues[i])
+				}
+				name += "}"
+			}
+			fmt.Printf("%-64s %g\n", name, s.Value)
+		}
+	}
+
+	fmt.Println("\nrecent events (trace-bus tail)")
+	fmt.Println("------------------------------------------------------------")
+	for _, ev := range hub.Bus.Recent(*eventTail) {
+		fmt.Println(ev.String())
+	}
 }

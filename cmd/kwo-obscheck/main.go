@@ -1,0 +1,110 @@
+// kwo-obscheck scrapes a kwo observability endpoint and verifies the
+// contract CI relies on: the Prometheus text output must parse under a
+// strict exposition-format parser, and every metric family in the hub
+// catalog must be present (the hub pre-registers the full catalog at
+// zero, so absence always means a wiring regression, never "nothing
+// happened yet").
+//
+// Usage:
+//
+//	kwo-obscheck -url http://127.0.0.1:9090/metrics
+//	kwo-obscheck -url ... -nonzero kwo_decision_ticks_total,kwo_actions_applied_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"kwo/internal/obs"
+)
+
+func fetch(url string, attempts int, delay time.Duration) ([]byte, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(delay)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("status %s", resp.Status)
+			continue
+		}
+		return body, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", attempts, lastErr)
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:9090/metrics", "metrics endpoint to scrape")
+	attempts := flag.Int("attempts", 20, "fetch attempts before giving up (endpoint may still be starting)")
+	delay := flag.Duration("delay", 500*time.Millisecond, "delay between fetch attempts")
+	nonzero := flag.String("nonzero", "", "comma-separated counter families whose summed value must be > 0")
+	flag.Parse()
+
+	// The -nonzero families only accumulate as the instrumented run
+	// progresses, so they retry on the same schedule as the fetch.
+	// Parse failures and missing catalog families fail fast: the hub
+	// pre-registers the whole catalog at zero, so neither can be a
+	// matter of timing.
+	for attempt := 1; ; attempt++ {
+		body, err := fetch(*url, *attempts, *delay)
+		if err != nil {
+			log.Fatalf("obscheck: fetch %s: %v", *url, err)
+		}
+		parsed, err := obs.ParseText(strings.NewReader(string(body)))
+		if err != nil {
+			log.Fatalf("obscheck: %s is not valid Prometheus text exposition: %v", *url, err)
+		}
+
+		var missing []string
+		for _, spec := range obs.Catalog() {
+			if !parsed.Has(spec.Name) {
+				missing = append(missing, spec.Name)
+			}
+		}
+		if len(missing) > 0 {
+			log.Fatalf("obscheck: %d cataloged metric families missing from %s:\n  %s",
+				len(missing), *url, strings.Join(missing, "\n  "))
+		}
+
+		var zero []string
+		if *nonzero != "" {
+			for _, name := range strings.Split(*nonzero, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if parsed.Sum(name) <= 0 {
+					zero = append(zero, name)
+				}
+			}
+		}
+		if len(zero) == 0 {
+			break
+		}
+		if attempt >= *attempts {
+			log.Fatalf("obscheck: families required non-zero are zero after %d attempts: %s",
+				attempt, strings.Join(zero, ", "))
+		}
+		time.Sleep(*delay)
+	}
+
+	fmt.Fprintf(os.Stdout, "obscheck: OK — %d cataloged families present, exposition parses clean\n",
+		len(obs.Catalog()))
+}

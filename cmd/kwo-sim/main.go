@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -34,6 +36,8 @@ func main() {
 	faultAlterRate := flag.Float64("fault-alter-rate", 0, "probability an ALTER fails before applying (0 disables)")
 	faultTimeoutRate := flag.Float64("fault-alter-timeout-rate", 0, "probability an ALTER applies but loses its acknowledgment")
 	faultBillingLag := flag.Duration("fault-billing-lag", 0, "billing-history visibility lag (e.g. 2h)")
+	obsAddr := flag.String("obs-addr", "", "serve the ops endpoint (/metrics, /events, /debug/pprof) on this address, e.g. 127.0.0.1:9090")
+	obsHold := flag.Duration("obs-hold", 0, "keep the process alive this long after the run so the ops endpoint can be scraped (requires -obs-addr)")
 	flag.Parse()
 
 	size, err := kwo.ParseSize(*sizeName)
@@ -66,6 +70,21 @@ func main() {
 			AlterTimeoutRate: *faultTimeoutRate,
 			BillingLag:       *faultBillingLag,
 		})
+	}
+	// The ops endpoint serves live while the simulation runs and stays up
+	// through -obs-hold. Its notes go to stderr so stdout stays
+	// byte-deterministic for a given seed and flags.
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			log.Fatalf("obs endpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[obs endpoint on http://%s/metrics]\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, sim.ObsHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "[obs endpoint: %v]\n", err)
+			}
+		}()
 	}
 	wh, err := sim.CreateWarehouse(kwo.WarehouseConfig{
 		Name: "MAIN_WH", Size: size, MinClusters: 1, MaxClusters: *maxClusters,
@@ -135,13 +154,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Report operation-level outcomes, not raw failure-log rows: a
+		// retried ALTER that eventually lands would otherwise be counted
+		// as a failure once per failed attempt.
+		rs := opt.ReliabilitySummary()
 		fmt.Printf("\nreliability: injected %d alter failures, %d lost acks, %d billing failures\n",
 			counts.AlterFailures, counts.AlterAckLosts, counts.BillingFailures)
-		fmt.Printf("  failure log %d rows, degraded ticks %d, recoveries %d, degraded now %v\n",
-			len(opt.ActuationFailures()), health.DegradedTicks, health.Recoveries, health.Degraded)
+		fmt.Printf("  attempts failed %d, ops recovered by retry %d, ops abandoned %d, applied %d\n",
+			rs.FailedAttempts, rs.OpsRecovered, rs.OpsAbandoned, rs.ActionsApplied)
+		fmt.Printf("  breaker opens %d, ingest failures %d, degraded ticks %d, recoveries %d, degraded now %v\n",
+			rs.BreakerOpens, rs.IngestFailures, health.DegradedTicks, health.Recoveries, health.Degraded)
 	}
 	// Wall-clock goes to stderr so stdout stays byte-deterministic for
 	// a given seed and flags.
 	fmt.Fprintf(os.Stderr, "[simulated %d days (%d queries) in %v wall]\n",
 		*preDays+*kwoDays, n, time.Since(wallStart).Round(time.Millisecond))
+	if *obsAddr != "" && *obsHold > 0 {
+		fmt.Fprintf(os.Stderr, "[holding obs endpoint for %v]\n", *obsHold)
+		time.Sleep(*obsHold)
+	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"kwo/internal/action"
 	"kwo/internal/cdw"
+	"kwo/internal/obs"
 	"kwo/internal/simclock"
 )
 
@@ -218,6 +219,7 @@ type Actuator struct {
 
 	policy RetryPolicy
 	rng    *rand.Rand
+	hub    *obs.Hub
 
 	log      []Record
 	failures []Failure
@@ -245,6 +247,33 @@ func New(acct *cdw.Account, overheadPerOp float64) *Actuator {
 		policy:        DefaultRetryPolicy(),
 		rng:           acct.Scheduler().Rand("actuator:retry"),
 		states:        make(map[string]*whState),
+	}
+}
+
+// SetObs wires the observability hub. The actuator emits action,
+// retry, and breaker metrics and events through it; a nil hub (the
+// default) disables instrumentation.
+func (a *Actuator) SetObs(h *obs.Hub) { a.hub = h }
+
+// noteFailure appends to the structured failure log and mirrors the
+// row into the obs registry; abandonment kinds also land on the event
+// bus so operators see them without polling Failures().
+func (a *Actuator) noteFailure(f Failure) {
+	a.failures = append(a.failures, f)
+	if a.hub == nil {
+		return
+	}
+	a.hub.ActionFailures.With(f.Warehouse, f.Kind.String()).Inc()
+	switch f.Kind {
+	case FailExhausted, FailPermanent, FailSuperseded, FailRetryAborted:
+		a.hub.Emit(obs.EventActionFailed, f.Warehouse,
+			obs.A("kind", f.Kind.String()),
+			obs.A("reason", f.Reason),
+			obs.A("statement", f.Statement),
+			obs.AInt("attempt", f.Attempt),
+			obs.A("err", f.Err))
+	case FailIngest:
+		a.hub.Emit(obs.EventIngestFailed, f.Warehouse, obs.A("err", f.Err))
 	}
 }
 
@@ -311,7 +340,7 @@ func (a *Actuator) Apply(act action.Action, reason string) (bool, error) {
 	if ws.pending != nil {
 		rec.Err = ErrPending.Error()
 		a.log = append(a.log, rec)
-		a.failures = append(a.failures, Failure{
+		a.noteFailure(Failure{
 			Time: now, Warehouse: act.Warehouse, Kind: FailRejectedPending,
 			OpID: ws.pending.id, Reason: reason, Err: ErrPending.Error(),
 		})
@@ -320,7 +349,7 @@ func (a *Actuator) Apply(act action.Action, reason string) (bool, error) {
 	if now.Before(ws.openUntil) {
 		rec.Err = ErrBreakerOpen.Error()
 		a.log = append(a.log, rec)
-		a.failures = append(a.failures, Failure{
+		a.noteFailure(Failure{
 			Time: now, Warehouse: act.Warehouse, Kind: FailRejectedBreaker,
 			Reason: reason, Err: ErrBreakerOpen.Error(),
 		})
@@ -364,13 +393,14 @@ func (a *Actuator) ApplyAlteration(warehouse string, alt cdw.Alteration, reason 
 	}
 	ws := a.state(warehouse)
 	if ws.pending != nil {
-		a.failures = append(a.failures, Failure{
+		a.noteFailure(Failure{
 			Time: now, Warehouse: warehouse, Kind: FailSuperseded,
 			OpID: ws.pending.id, Attempt: ws.pending.attempt,
 			Reason: ws.pending.reason, Statement: ws.pending.alt.String(),
 			Err: "superseded by " + reason,
 		})
 		ws.pending = nil
+		a.setPendingGauge(warehouse, 0)
 	}
 	a.opSeq++
 	o := &op{
@@ -398,12 +428,23 @@ func (a *Actuator) attempt(ws *whState, o *op) (bool, error) {
 		OpID: o.id, Attempt: o.attempt,
 	}
 	a.acct.RecordOverhead(a.OverheadPerOp, "actuator:"+o.note)
+	if a.hub != nil {
+		a.hub.ActionAttempts.With(o.act.Warehouse).Inc()
+	}
 	err := a.acct.Alter(o.act.Warehouse, o.alt, Actor)
 	if err == nil {
 		rec.Applied = true
 		a.log = append(a.log, rec)
 		ws.pending = nil
 		ws.consecExhausted = 0
+		if a.hub != nil {
+			a.setPendingGauge(o.act.Warehouse, 0)
+			a.hub.ActionsApplied.With(o.act.Warehouse, o.reason).Inc()
+			a.hub.Emit(obs.EventActionApplied, o.act.Warehouse,
+				obs.A("statement", o.alt.String()),
+				obs.A("reason", o.reason),
+				obs.AInt("attempt", o.attempt))
+		}
 		if o.attempt > 1 && a.onApplied != nil {
 			if wh, werr := a.acct.Warehouse(o.act.Warehouse); werr == nil {
 				a.onApplied(o.act.Warehouse, o.reason, o.act, wh.Config())
@@ -420,16 +461,18 @@ func (a *Actuator) attempt(ws *whState, o *op) (bool, error) {
 	}
 	if !cdw.IsTransient(err) {
 		ws.pending = nil
+		a.setPendingGauge(o.act.Warehouse, 0)
 		fail.Kind = FailPermanent
-		a.failures = append(a.failures, fail)
+		a.noteFailure(fail)
 		return false, err
 	}
 	fail.Kind = FailTransient
-	a.failures = append(a.failures, fail)
+	a.noteFailure(fail)
 	if o.attempt >= a.policy.MaxAttempts {
 		ws.pending = nil
+		a.setPendingGauge(o.act.Warehouse, 0)
 		ws.consecExhausted++
-		a.failures = append(a.failures, Failure{
+		a.noteFailure(Failure{
 			Time: now, Warehouse: o.act.Warehouse, OpID: o.id, Attempt: o.attempt,
 			Kind: FailExhausted, Reason: o.reason, Statement: o.alt.String(),
 			Err: fmt.Sprintf("abandoned after %d attempts: %v", o.attempt, err),
@@ -437,23 +480,35 @@ func (a *Actuator) attempt(ws *whState, o *op) (bool, error) {
 		if a.policy.BreakerThreshold > 0 && ws.consecExhausted >= a.policy.BreakerThreshold &&
 			!now.Before(ws.openUntil) {
 			ws.openUntil = now.Add(a.policy.BreakerCooldown)
-			a.failures = append(a.failures, Failure{
+			a.noteFailure(Failure{
 				Time: now, Warehouse: o.act.Warehouse, Kind: FailBreakerOpened,
 				Err: fmt.Sprintf("open until %s after %d consecutive abandoned operations",
 					ws.openUntil.Format("Mon 15:04:05"), ws.consecExhausted),
 			})
+			a.noteBreakerOpened(ws, o.act.Warehouse)
 		}
 		return false, fmt.Errorf("retries exhausted after %d attempts: %w", o.attempt, err)
 	}
 	ws.pending = o
 	delay := a.policy.delay(o.attempt, a.rng)
+	if a.hub != nil {
+		a.setPendingGauge(o.act.Warehouse, 1)
+		a.hub.ActionRetries.With(o.act.Warehouse).Inc()
+		a.hub.RetryBackoff.With(o.act.Warehouse).Observe(delay.Seconds())
+		a.hub.Emit(obs.EventActionRetried, o.act.Warehouse,
+			obs.A("statement", o.alt.String()),
+			obs.A("reason", o.reason),
+			obs.AInt("attempt", o.attempt),
+			obs.ADur("delay", delay))
+	}
 	a.sched.After(delay, "actuator-retry:"+o.act.Warehouse, func() {
 		if ws.pending != o {
 			return // superseded or cancelled
 		}
 		if a.retryGate != nil && !a.retryGate(o.act.Warehouse, o.reason, o.alt) {
 			ws.pending = nil
-			a.failures = append(a.failures, Failure{
+			a.setPendingGauge(o.act.Warehouse, 0)
+			a.noteFailure(Failure{
 				Time: a.sched.Now(), Warehouse: o.act.Warehouse, Kind: FailRetryAborted,
 				OpID: o.id, Attempt: o.attempt, Reason: o.reason, Statement: o.alt.String(),
 				Err: "retry aborted: policy no longer allows the alteration",
@@ -465,13 +520,50 @@ func (a *Actuator) attempt(ws *whState, o *op) (bool, error) {
 	return false, err
 }
 
+// setPendingGauge mirrors whState.pending into the obs registry.
+func (a *Actuator) setPendingGauge(warehouse string, v float64) {
+	if a.hub != nil {
+		a.hub.RetryPending.With(warehouse).Set(v)
+	}
+}
+
+// noteBreakerOpened emits the breaker-open transition and schedules a
+// pure-observer callback at the cooldown deadline that emits the close
+// transition — so a breaker that opens and closes between two Health
+// polls is still visible on the event bus. The callback mutates no
+// warehouse or actuator state; determinism is unaffected.
+func (a *Actuator) noteBreakerOpened(ws *whState, warehouse string) {
+	if a.hub == nil {
+		return
+	}
+	until := ws.openUntil
+	a.hub.BreakerOpen.With(warehouse).Set(1)
+	a.hub.BreakerTransitions.With(warehouse, "open").Inc()
+	a.hub.Emit(obs.EventBreakerOpened, warehouse,
+		obs.A("until", until.Format(time.RFC3339)),
+		obs.AInt("consecutive_exhausted", ws.consecExhausted))
+	a.sched.Schedule(until, "obs:breaker-close:"+warehouse, func() {
+		// Skip if a later trip extended the window; that trip scheduled
+		// its own close observer.
+		if !ws.openUntil.Equal(until) {
+			return
+		}
+		a.hub.BreakerOpen.With(warehouse).Set(0)
+		a.hub.BreakerTransitions.With(warehouse, "closed").Inc()
+		a.hub.Emit(obs.EventBreakerClosed, warehouse)
+	})
+}
+
 // NoteIngestFailure records a telemetry/billing ingestion failure in the
 // failure log — ingestion is read-path, so there is nothing to retry
 // here (the engine re-pulls from its cursor on the next tick), but the
 // failure must still be visible in one place alongside actuation
 // failures.
 func (a *Actuator) NoteIngestFailure(warehouse string, err error) {
-	a.failures = append(a.failures, Failure{
+	if a.hub != nil {
+		a.hub.IngestFailures.With(warehouse).Inc()
+	}
+	a.noteFailure(Failure{
 		Time: a.sched.Now(), Warehouse: warehouse, Kind: FailIngest, Err: err.Error(),
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"kwo/internal/obs"
 	"kwo/internal/simclock"
 )
 
@@ -82,6 +83,10 @@ type Account struct {
 	faults      *FaultPlan
 	faultRng    *rand.Rand
 	faultCounts FaultCounts
+
+	// hub, when set, mirrors injected faults, audit-log writes, and
+	// optimizer overhead into the observability registry and event bus.
+	hub *obs.Hub
 }
 
 // OverheadRecord meters credits consumed by the optimizer itself
@@ -109,6 +114,19 @@ func (a *Account) Params() SimParams { return a.params }
 
 // Subscribe registers a telemetry listener.
 func (a *Account) Subscribe(l Listener) { a.listeners = append(a.listeners, l) }
+
+// SetObs wires the observability hub; nil (the default) disables the
+// account-side instrumentation.
+func (a *Account) SetObs(h *obs.Hub) { a.hub = h }
+
+// noteFault counts an injected fault and traces it.
+func (a *Account) noteFault(kind, warehouse, op string) {
+	if a.hub == nil {
+		return
+	}
+	a.hub.FaultsInjected.With(kind).Inc()
+	a.hub.Emit(obs.EventFaultInjected, warehouse, obs.A("kind", kind), obs.A("op", op))
+}
 
 // SetFaults installs a fault plan on the account's API surface. Passing
 // the zero plan effectively disables injection again (no outage windows,
@@ -195,6 +213,7 @@ func (a *Account) Alter(warehouse string, alt Alteration, actor string) error {
 					reason = "outage"
 				}
 			}
+			a.noteFault("alter-fail", warehouse, "alter")
 			return &TransientError{Op: "alter", Reason: reason}
 		}
 		ackLost = lost
@@ -212,11 +231,15 @@ func (a *Account) Alter(warehouse string, alt Alteration, actor string) error {
 		Statement: alt.String(),
 	}
 	a.changes = append(a.changes, ch)
+	if a.hub != nil {
+		a.hub.ConfigChanges.With(warehouse, actor).Inc()
+	}
 	for _, l := range a.listeners {
 		l.OnChange(ch)
 	}
 	if ackLost {
 		a.faultCounts.AlterAckLosts++
+		a.noteFault("alter-ack-lost", warehouse, "alter")
 		return &TransientError{Op: "alter", Reason: "timeout", AckLost: true}
 	}
 	return nil
@@ -239,6 +262,7 @@ func (a *Account) BillingHistory(warehouse string, from, to time.Time) ([]Hourly
 		for _, o := range a.faults.BillingOutages {
 			if o.Contains(now) {
 				a.faultCounts.BillingFailures++
+				a.noteFault("billing-fail", warehouse, "billing-history")
 				return nil, from, &TransientError{Op: "billing-history", Reason: "outage"}
 			}
 		}
@@ -276,6 +300,9 @@ func (a *Account) RecordOverhead(credits float64, note string) {
 	a.overhead = append(a.overhead, OverheadRecord{
 		Time: a.sched.Now(), Credits: credits, Note: note,
 	})
+	if a.hub != nil {
+		a.hub.OverheadCredits.With(note).Add(credits)
+	}
 }
 
 // OverheadBetween sums optimizer overhead credits in [from, to).

@@ -9,6 +9,7 @@ import (
 	"kwo/internal/cdw"
 	"kwo/internal/costmodel"
 	"kwo/internal/monitor"
+	"kwo/internal/obs"
 	"kwo/internal/pricing"
 	"kwo/internal/simclock"
 	"kwo/internal/telemetry"
@@ -35,6 +36,7 @@ type Engine struct {
 	act    *actuator.Actuator
 	ledger *pricing.Ledger
 	opts   Options
+	hub    *obs.Hub
 
 	models map[string]*smState
 	names  []string
@@ -68,6 +70,12 @@ type smState struct {
 	degradedSince time.Time
 	degradedTicks int
 	recoveries    int
+
+	// Cached per-warehouse obs instruments for the hot tick path — one
+	// label resolution at attach instead of one per tick.
+	obsTicks         *obs.Counter
+	obsDegradedTicks *obs.Counter
+	obsTrainings     *obs.Counter
 }
 
 // Health reports the engine's fault-handling state for one warehouse.
@@ -102,6 +110,10 @@ func NewEngine(acct *cdw.Account, opts Options) *Engine {
 // NewEngineWithStore creates an engine that reads telemetry from an
 // existing store (already subscribed to the account by the caller).
 func NewEngineWithStore(acct *cdw.Account, store *telemetry.Store, opts Options) *Engine {
+	hub := opts.Obs
+	if hub == nil {
+		hub = obs.NewHub(acct.Scheduler().Now)
+	}
 	e := &Engine{
 		acct:   acct,
 		sched:  acct.Scheduler(),
@@ -109,8 +121,10 @@ func NewEngineWithStore(acct *cdw.Account, store *telemetry.Store, opts Options)
 		act:    actuator.New(acct, opts.OverheadPerOp),
 		ledger: pricing.NewLedger(opts.SavingsShare),
 		opts:   opts,
+		hub:    hub,
 		models: make(map[string]*smState),
 	}
+	e.act.SetObs(hub)
 	if opts.Retry.MaxAttempts > 0 {
 		e.act.SetRetryPolicy(opts.Retry)
 	}
@@ -179,6 +193,10 @@ func (e *Engine) Ledger() *pricing.Ledger { return e.ledger }
 // Actuator exposes the action log.
 func (e *Engine) Actuator() *actuator.Actuator { return e.act }
 
+// Obs exposes the engine's observability hub (metrics registry and
+// event bus). Never nil.
+func (e *Engine) Obs() *obs.Hub { return e.hub }
+
 // Attach registers a warehouse for optimization. The warehouse's
 // current configuration becomes the without-Keebo baseline, and an
 // initial training pass runs over whatever telemetry already exists
@@ -203,15 +221,39 @@ func (e *Engine) Attach(warehouse string, settings WarehouseSettings) (*SmartMod
 	sm := newSmartModel(warehouse, orig, settings, e.store, rng, e.opts)
 	sm.attachedAt = now
 	st := &smState{sm: sm, billStart: now, attachAt: now,
-		lastChangeIdx: len(e.acct.Changes())}
+		lastChangeIdx:    len(e.acct.Changes()),
+		obsTicks:         e.hub.DecisionTicks.With(warehouse),
+		obsDegradedTicks: e.hub.DegradedTicks.With(warehouse),
+		obsTrainings:     e.hub.Trainings.With(warehouse),
+	}
 	e.models[warehouse] = st
 	e.names = append(e.names, warehouse)
+
+	// Export the monitor's verdicts as it folds each window; the
+	// callback is a pure observer of snapshots Observe computes anyway.
+	sm.mon.SetObserver(func(snap monitor.Snapshot) {
+		e.hub.BaselineP99.With(warehouse).Set(snap.BaselineP99.Seconds())
+		e.hub.BaselineQPH.With(warehouse).Set(snap.BaselineQPH)
+		if snap.LatencySpike {
+			e.hub.MonitorSpikes.With(warehouse, "latency").Inc()
+		}
+		if snap.QueueSpike {
+			e.hub.MonitorSpikes.With(warehouse, "queue").Inc()
+		}
+		if snap.LoadSpike {
+			e.hub.MonitorSpikes.With(warehouse, "load").Inc()
+		}
+		if snap.NewPattern {
+			e.hub.MonitorSpikes.With(warehouse, "new-pattern").Inc()
+		}
+	})
 
 	// Initial training from existing history.
 	log := e.store.Log(warehouse)
 	if log != nil && len(log.Queries) > 0 {
 		from := now.Add(-e.opts.HistoryWindow)
 		sm.retrain(log, from, now, e.acct.Params().MaxConcurrency, e.opts)
+		st.obsTrainings.Inc()
 	}
 	if e.running {
 		e.scheduleLoops(st)
@@ -316,6 +358,7 @@ func (e *Engine) tick(st *smState) {
 	if err != nil {
 		return
 	}
+	st.obsTicks.Inc()
 	// Telemetry collection overhead (Figure 6's red series).
 	e.act.MeterTelemetryPull()
 
@@ -350,6 +393,7 @@ func (e *Engine) tick(st *smState) {
 	if log := e.store.Log(sm.Warehouse); log != nil && sm.cost != nil {
 		if st.cursor == nil || st.cursor.Model() != sm.cost {
 			st.cursor = costmodel.NewReplayCursor(sm.cost, log, st.billStart)
+			st.cursor.SetOnRebuild(e.hub.CursorRebuilds.With(sm.Warehouse).Inc)
 		}
 		if w := now.Add(-replayLag); w.After(st.billStart) {
 			st.cursor.Advance(w)
@@ -377,15 +421,28 @@ func (e *Engine) tick(st *smState) {
 	// action class the customer's rules demand regardless.
 	pending := e.act.Pending(sm.Warehouse)
 	wasDegraded := st.degraded
-	st.degraded = e.act.BreakerOpen(sm.Warehouse) || st.ingestFails >= ingestFailThreshold
+	breakerOpen := e.act.BreakerOpen(sm.Warehouse)
+	st.degraded = breakerOpen || st.ingestFails >= ingestFailThreshold
 	if st.degraded {
 		if !wasDegraded {
 			st.degradedSince = now
 			sm.enterDegraded()
+			cause := "ingest-failures"
+			if breakerOpen {
+				cause = "breaker-open"
+			}
+			e.hub.Degraded.With(sm.Warehouse).Set(1)
+			e.hub.DegradedTransitions.With(sm.Warehouse, "enter").Inc()
+			e.hub.Emit(obs.EventDegradedEnter, sm.Warehouse, obs.A("cause", cause))
 		}
 		st.degradedTicks++
+		st.obsDegradedTicks.Inc()
 	} else if wasDegraded {
 		st.recoveries++
+		e.hub.Degraded.With(sm.Warehouse).Set(0)
+		e.hub.DegradedTransitions.With(sm.Warehouse, "exit").Inc()
+		e.hub.Emit(obs.EventDegradedExit, sm.Warehouse,
+			obs.AInt("degraded_ticks", st.degradedTicks))
 	}
 
 	// Reconcile expected-vs-actual. With no retry in flight and no
@@ -403,6 +460,9 @@ func (e *Engine) tick(st *smState) {
 			if sm.settings.Constraints.Required(now, current).IsZero() {
 				reason = "constraint-restore"
 			}
+			e.hub.Emit(obs.EventDecision, sm.Warehouse,
+				obs.A("kind", "enforce"), obs.A("reason", reason),
+				obs.A("mode", "degraded"), obs.A("statement", enforce.String()))
 			if err := e.act.ApplyAlteration(sm.Warehouse, enforce, reason); err == nil {
 				sm.expected = wh.Config()
 			}
@@ -425,6 +485,9 @@ func (e *Engine) tick(st *smState) {
 		if sm.settings.Constraints.Required(now, current).IsZero() {
 			reason = "constraint-restore"
 		}
+		e.hub.Emit(obs.EventDecision, sm.Warehouse,
+			obs.A("kind", "enforce"), obs.A("reason", reason),
+			obs.A("statement", enforce.String()))
 		if err := e.act.ApplyAlteration(sm.Warehouse, enforce, reason); err == nil {
 			sm.expected = wh.Config()
 		}
@@ -436,7 +499,15 @@ func (e *Engine) tick(st *smState) {
 	reason := "smart-model"
 	if act.Reverts {
 		reason = "revert"
+		// The self-correction monitor vetoed a live regression; this is
+		// the §4.4 backoff firing, traced so operators can correlate it
+		// with the spike that triggered it.
+		e.hub.MonitorReverts.With(sm.Warehouse).Inc()
+		e.hub.Emit(obs.EventMonitorBackoff, sm.Warehouse,
+			obs.A("action", act.Kind.String()))
 	}
+	e.hub.Emit(obs.EventDecision, sm.Warehouse,
+		obs.A("kind", act.Kind.String()), obs.A("reason", reason))
 	if applied, err := e.act.Apply(act, reason); err == nil && applied {
 		sm.markApplied(act, wh.Config())
 	}
@@ -451,6 +522,7 @@ func (e *Engine) retrain(st *smState) {
 	}
 	from := now.Add(-e.opts.HistoryWindow)
 	st.sm.retrain(log, from, now, e.acct.Params().MaxConcurrency, e.opts)
+	st.obsTrainings.Inc()
 }
 
 // bill closes the current billing period with a what-if savings
@@ -469,7 +541,8 @@ func (e *Engine) bill(st *smState) {
 		// axis with no gaps. Claim zero savings: without = actual.
 		if now.After(st.billStart) {
 			actual := wh.Meter().CreditsBetween(st.billStart, now, now)
-			e.ledger.Add(sm.Warehouse, st.billStart, now, actual, actual)
+			inv := e.ledger.Add(sm.Warehouse, st.billStart, now, actual, actual)
+			e.noteInvoice(inv)
 		}
 		st.billStart = now
 		st.cursor = nil
@@ -483,12 +556,30 @@ func (e *Engine) bill(st *smState) {
 		// final advance only replays the lagged tail. Its result is
 		// exactly what the from-scratch replay below would compute.
 		without = st.cursor.Advance(now).Credits
+		e.hub.Replays.With(sm.Warehouse, "incremental").Inc()
 	} else {
 		without = sm.cost.Replay(log, st.billStart, now).Credits
+		e.hub.Replays.With(sm.Warehouse, "scratch").Inc()
 	}
-	e.ledger.Add(sm.Warehouse, st.billStart, now, actual, without)
+	inv := e.ledger.Add(sm.Warehouse, st.billStart, now, actual, without)
+	e.noteInvoice(inv)
 	st.billStart = now
 	st.cursor = nil
+}
+
+// noteInvoice mirrors a freshly cut invoice into the obs registry and
+// event bus.
+func (e *Engine) noteInvoice(inv pricing.Invoice) {
+	e.hub.Invoices.With(inv.Warehouse).Inc()
+	e.hub.InvoiceActual.With(inv.Warehouse).Add(inv.ActualCredits)
+	e.hub.InvoiceSavings.With(inv.Warehouse).Add(inv.Savings)
+	e.hub.InvoiceCharge.With(inv.Warehouse).Add(inv.Charge)
+	e.hub.Emit(obs.EventInvoice, inv.Warehouse,
+		obs.A("from", inv.From.Format(time.RFC3339)),
+		obs.A("to", inv.To.Format(time.RFC3339)),
+		obs.AFloat("actual_credits", inv.ActualCredits),
+		obs.AFloat("savings_credits", inv.Savings),
+		obs.AFloat("charge_credits", inv.Charge))
 }
 
 // EstimateSavings runs an on-demand what-if estimate for a warehouse

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kwo/internal/actuator"
+	"kwo/internal/obs"
 	"kwo/internal/policy"
 	"kwo/internal/rl"
 )
@@ -57,6 +58,12 @@ type Options struct {
 	// policy. Leave MaxAttempts at zero to keep the actuator's default
 	// policy (see actuator.DefaultRetryPolicy).
 	Retry actuator.RetryPolicy
+	// Obs is the observability hub the engine instruments itself
+	// through; nil makes the engine create a private one. Sharing one
+	// hub between the engine and the simulated account (as
+	// kwo.NewSimulation does) puts warehouse-side fault and telemetry
+	// metrics on the same registry as the optimizer's.
+	Obs *obs.Hub
 }
 
 // DefaultOptions returns production-plausible defaults.

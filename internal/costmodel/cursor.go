@@ -48,6 +48,10 @@ type ReplayCursor struct {
 	nextWin      time.Time // first mini-window not yet finalized
 	creditsFinal float64   // Credits fold over finalized windows
 	billLo       int       // closed[:billLo] end at or before nextWin
+
+	// onRebuild, when set, is called whenever a straggler forces the
+	// cursor to re-consume its whole range (for instrumentation).
+	onRebuild func()
 }
 
 type winArrivals struct {
@@ -76,6 +80,11 @@ func (c *ReplayCursor) Model() *Model { return c.m }
 
 // From returns the fixed start of the cursor's range.
 func (c *ReplayCursor) From() time.Time { return c.from }
+
+// SetOnRebuild registers a callback fired on every straggler-forced
+// rebuild. Rebuilds are a correctness mechanism but a performance
+// cliff, so operators watch their rate.
+func (c *ReplayCursor) SetOnRebuild(fn func()) { c.onRebuild = fn }
 
 func (c *ReplayCursor) reset() {
 	c.at = c.from
@@ -108,6 +117,9 @@ func (c *ReplayCursor) Advance(to time.Time) ReplayResult {
 	// it; a rebuild re-consumes the range and restores equivalence.
 	if len(c.log.SubmittedBetween(c.from, c.at)) != c.queries {
 		c.reset()
+		if c.onRebuild != nil {
+			c.onRebuild()
+		}
 	}
 
 	orig := c.m.Orig

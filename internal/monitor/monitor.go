@@ -81,6 +81,11 @@ type Monitor struct {
 	queue ml.EWMA
 	qph   ml.EWMA
 	n     int
+
+	// observer, when set, receives every snapshot Observe folds — the
+	// engine uses it to export baselines and spike verdicts without a
+	// second Stats pass. Peek never calls it.
+	observer func(Snapshot)
 }
 
 // New creates a monitor for one warehouse of the telemetry store, with
@@ -139,8 +144,14 @@ func (m *Monitor) Observe(now time.Time) Snapshot {
 		m.qph.Add(snap.Stats.QPH)
 		m.n++
 	}
+	if m.observer != nil {
+		m.observer(snap)
+	}
 	return snap
 }
+
+// SetObserver registers the per-Observe snapshot callback.
+func (m *Monitor) SetObserver(fn func(Snapshot)) { m.observer = fn }
 
 // Peek computes the current snapshot WITHOUT folding the window into
 // the baselines. It is side-effect free, so test harnesses and

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the ops surface for a hub:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/events         recent events, one JSON object per line (?n=, ?kind=)
+//	/healthz        liveness probe
+//	/debug/pprof/*  runtime profiling
+//	/               plain-text index
+//
+// All endpoints are read-only; scraping them cannot perturb a
+// simulation.
+func Handler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := h.Registry.WritePrometheus(w); err != nil {
+			// Headers are gone; nothing useful to do but note it.
+			fmt.Fprintf(w, "# write error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		kind := EventKind(r.URL.Query().Get("kind"))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		var b strings.Builder
+		for _, ev := range h.Bus.Recent(n) {
+			if kind != "" && ev.Kind != kind {
+				continue
+			}
+			ev.appendJSON(&b)
+			b.WriteByte('\n')
+		}
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "kwo ops endpoint\n\n/metrics\n/events?n=100&kind=\n/healthz\n/debug/pprof/\n")
+	})
+	return mux
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsedMetrics is the result of parsing a Prometheus text exposition:
+// family metadata plus every sample, keyed for lookups by checkers.
+type ParsedMetrics struct {
+	// Types maps family name to its TYPE keyword (counter, gauge,
+	// histogram, untyped).
+	Types map[string]string
+	// Samples maps a full sample name (including _bucket/_sum/_count
+	// suffixes) to its values, one per label set.
+	Samples map[string][]float64
+}
+
+// Has reports whether a family was declared via # TYPE.
+func (p *ParsedMetrics) Has(family string) bool {
+	_, ok := p.Types[family]
+	return ok
+}
+
+// Sum adds up every sample with exactly the given name.
+func (p *ParsedMetrics) Sum(name string) float64 {
+	var sum float64
+	for _, v := range p.Samples[name] {
+		sum += v
+	}
+	return sum
+}
+
+// ParseText parses the Prometheus text exposition format (the subset
+// WritePrometheus emits: HELP/TYPE comments and `name{labels} value`
+// samples, no timestamps). It is strict: any malformed line is an
+// error, so the CI scrape job catches formatting regressions.
+func ParseText(r io.Reader) (*ParsedMetrics, error) {
+	out := &ParsedMetrics{
+		Types:   make(map[string]string),
+		Samples: make(map[string][]float64),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				out.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		out.Samples[name] = append(out.Samples[name], value)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional) and
+// validates the label block syntax.
+func parseSample(line string) (string, float64, error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", 0, fmt.Errorf("unterminated label block: %q", line)
+		}
+		if err := checkLabels(rest[brace+1 : end]); err != nil {
+			return "", 0, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", 0, fmt.Errorf("no value: %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if name == "" || !validMetricName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("invalid value %q", rest)
+	}
+	return name, v, nil
+}
+
+func checkLabels(block string) error {
+	// name="value",name="value"; values are quoted with \-escapes.
+	i := 0
+	for i < len(block) {
+		eq := strings.IndexByte(block[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label without =")
+		}
+		labelName := block[i : i+eq]
+		if labelName == "" || !validLabelName(labelName) {
+			return fmt.Errorf("invalid label name %q", labelName)
+		}
+		i += eq + 1
+		if i >= len(block) || block[i] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		i++ // skip opening quote
+		for {
+			if i >= len(block) {
+				return fmt.Errorf("unterminated label value")
+			}
+			if block[i] == '\\' {
+				i += 2
+				continue
+			}
+			if block[i] == '"' {
+				i++
+				break
+			}
+			i++
+		}
+		if i < len(block) {
+			if block[i] != ',' {
+				return fmt.Errorf("expected , between labels")
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

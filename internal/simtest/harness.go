@@ -6,6 +6,7 @@ import (
 
 	"kwo/internal/cdw"
 	"kwo/internal/core"
+	"kwo/internal/obs"
 	"kwo/internal/policy"
 	"kwo/internal/simclock"
 	"kwo/internal/telemetry"
@@ -54,6 +55,10 @@ type Result struct {
 	// the actuator coped must reproduce too.
 	FaultCounts      cdw.FaultCounts
 	ActuatorFailures int
+
+	// ObsEvents is the total trace-event count — instrumentation must be
+	// as deterministic as the simulation it observes.
+	ObsEvents uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -99,6 +104,7 @@ type harness struct {
 	acct  *cdw.Account
 	store *telemetry.Store
 	eng   *core.Engine
+	hub   *obs.Hub
 	wh    *cdw.Warehouse
 	name  string
 
@@ -140,6 +146,12 @@ func RunScenario(sc Scenario) *Result {
 		h.acct.SetFaults(*sc.Plan)
 	}
 	h.store = telemetry.NewStore()
+	// One hub across account, store, and engine — exactly how the public
+	// API wires it — so checkObsConsistency can hold the event bus and
+	// registry to the engine's authoritative counters.
+	h.hub = obs.NewHub(h.sched.Now)
+	h.acct.SetObs(h.hub)
+	h.store.SetObs(h.hub)
 	h.acct.Subscribe(h.store)
 	h.acct.Subscribe(h)
 
@@ -154,7 +166,9 @@ func RunScenario(sc Scenario) *Result {
 		return h.result()
 	}
 	h.wh = wh
-	h.eng = core.NewEngineWithStore(h.acct, h.store, sc.Opts)
+	opts := sc.Opts
+	opts.Obs = h.hub
+	h.eng = core.NewEngineWithStore(h.acct, h.store, opts)
 
 	for i, g := range sc.Gens {
 		arr := g.Generate(h.start, h.end, h.sched.Rand(fmt.Sprintf("simtest:gen:%d:%s", i, g.Name())))
@@ -228,6 +242,9 @@ func (h *harness) result() *Result {
 		res.AppliedActions = h.eng.Actuator().AppliedCount()
 		res.Invoices = len(h.eng.Ledger().Invoices())
 		res.ActuatorFailures = h.eng.Actuator().FailureCount()
+	}
+	if h.hub != nil {
+		res.ObsEvents = h.hub.Bus.Total()
 	}
 	if snap, err := h.store.SnapshotBytes(); err == nil {
 		res.Snapshot = snap

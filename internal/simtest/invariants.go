@@ -9,6 +9,7 @@ import (
 
 	"kwo/internal/actuator"
 	"kwo/internal/cdw"
+	"kwo/internal/obs"
 	"kwo/internal/policy"
 	"kwo/internal/telemetry"
 )
@@ -111,6 +112,48 @@ func (h *harness) sweep(now time.Time) {
 	h.checkAudit(now)
 	h.checkInvoices(now)
 	h.checkEnforcementSLA(now)
+	h.checkObsConsistency(now)
+}
+
+// checkObsConsistency holds the observability layer to the engine's
+// authoritative state: the event bus's cumulative per-kind counts (which
+// survive ring wrap) and the metric registry must agree exactly with the
+// actuator log, the pricing ledger, and the account's fault counters.
+// Counter increments and event emissions are synchronous with the state
+// changes they mirror, so equality must hold at every sweep, not just at
+// the end of the run.
+func (h *harness) checkObsConsistency(now time.Time) {
+	if h.hub == nil {
+		return
+	}
+	bus, reg := h.hub.Bus, h.hub.Registry
+	check := func(what string, got uint64, want int) {
+		if got != uint64(want) {
+			h.failf(now, "obs: %s — observed %d, authoritative %d", what, got, want)
+		}
+	}
+	checkSum := func(metric string, want int) {
+		if got := reg.CounterSum(metric); got != float64(want) {
+			h.failf(now, "obs: %s sums to %g, authoritative %d", metric, got, want)
+		}
+	}
+	if h.eng != nil {
+		applied := h.eng.Actuator().AppliedCount()
+		check("action-applied events vs actuator applied log", bus.KindCount(obs.EventActionApplied), applied)
+		checkSum(obs.MetricActionsApplied, applied)
+		checkSum(obs.MetricActionFailures, h.eng.Actuator().FailureCount())
+		invoices := len(h.eng.Ledger().Invoices())
+		check("invoice events vs pricing ledger", bus.KindCount(obs.EventInvoice), invoices)
+		checkSum(obs.MetricInvoices, invoices)
+	}
+	fc := h.acct.FaultCounts()
+	faults := fc.AlterFailures + fc.AlterAckLosts + fc.BillingFailures
+	check("fault-injected events vs account fault counters", bus.KindCount(obs.EventFaultInjected), faults)
+	checkSum(obs.MetricFaultsInjected, faults)
+	// Every emitted event increments kwo_obs_events_total{kind} once.
+	if got := reg.CounterSum(obs.MetricEvents); got != float64(bus.Total()) {
+		h.failf(now, "obs: %s sums to %g, event bus emitted %d", obs.MetricEvents, got, bus.Total())
+	}
 }
 
 // checkTelemetryIndexes cross-checks the telemetry log's query-path

@@ -158,4 +158,7 @@ func compareRuns(t *testing.T, a, b *Result) {
 	if a.ActuatorFailures != b.ActuatorFailures {
 		t.Errorf("non-deterministic failure log: %d vs %d rows", a.ActuatorFailures, b.ActuatorFailures)
 	}
+	if a.ObsEvents != b.ObsEvents {
+		t.Errorf("non-deterministic trace-event count: %d vs %d", a.ObsEvents, b.ObsEvents)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"kwo/internal/cdw"
+	"kwo/internal/obs"
 )
 
 // Store accumulates telemetry for every warehouse of an account.
@@ -30,6 +31,7 @@ import (
 type Store struct {
 	byWarehouse map[string]*WarehouseLog
 	names       []string
+	hub         *obs.Hub
 }
 
 // WarehouseLog is the telemetry of a single warehouse. Query records
@@ -74,6 +76,13 @@ type WarehouseLog struct {
 	latScratch   []time.Duration
 	queueScratch []time.Duration
 	distinct     map[uint64]struct{}
+
+	// Cached obs instruments (nil when the store has no hub); resolved
+	// once per warehouse so the per-query hot path does no label lookup.
+	obsQueries *obs.Counter
+	obsLatency *obs.Histogram
+	obsQueue   *obs.Histogram
+	obsBilling *obs.Counter
 }
 
 // queryAgg is the running total of every additive WindowStats input up
@@ -131,8 +140,19 @@ func (s *Store) log(name string) *WarehouseLog {
 		s.byWarehouse[name] = l
 		s.names = append(s.names, name)
 	}
+	if s.hub != nil && l.obsQueries == nil {
+		l.obsQueries = s.hub.Queries.With(name)
+		l.obsLatency = s.hub.QueryLatency.With(name)
+		l.obsQueue = s.hub.QueryQueue.With(name)
+		l.obsBilling = s.hub.BillingHours.With(name)
+	}
 	return l
 }
+
+// SetObs wires the observability hub: query counts, latency and queue
+// histograms, and billing-row ingestion counters. Set it before the
+// first event for complete counts; nil disables instrumentation.
+func (s *Store) SetObs(h *obs.Hub) { s.hub = h }
 
 // OnQuery implements cdw.Listener.
 func (s *Store) OnQuery(r cdw.QueryRecord) {
@@ -166,6 +186,11 @@ func (s *Store) OnQuery(r cdw.QueryRecord) {
 	l.indexSubmit(r)
 	l.noteFirstEnd(r)
 	l.subN++
+	if l.obsQueries != nil {
+		l.obsQueries.Inc()
+		l.obsLatency.Observe(r.TotalDuration().Seconds())
+		l.obsQueue.Observe(r.QueueDuration.Seconds())
+	}
 }
 
 // OnChange implements cdw.Listener.
@@ -433,6 +458,9 @@ func (s *Store) AddBilling(warehouse string, rows []cdw.HourlyRecord) {
 		}
 		l.billingIdx[key] = len(l.Billing)
 		l.Billing = append(l.Billing, r)
+		if l.obsBilling != nil {
+			l.obsBilling.Inc()
+		}
 	}
 }
 

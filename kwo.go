@@ -10,6 +10,7 @@ import (
 	"kwo/internal/cdw"
 	"kwo/internal/consolidate"
 	"kwo/internal/core"
+	"kwo/internal/obs"
 	"kwo/internal/simclock"
 	"kwo/internal/telemetry"
 	"kwo/internal/workload"
@@ -24,6 +25,7 @@ type Simulation struct {
 	acct  *cdw.Account
 	start time.Time
 	store *telemetry.Store
+	hub   *obs.Hub
 }
 
 // NewSimulation creates a simulation with default physical constants.
@@ -38,8 +40,17 @@ func NewSimulationWithParams(seed int64, params SimParams) *Simulation {
 	sched := simclock.NewScheduler(seed)
 	acct := cdw.NewAccount(sched, params)
 	store := telemetry.NewStore()
+	// One observability hub spans the whole stack: the account reports
+	// injected faults and audit writes, the store reports telemetry
+	// ingestion, and any optimizer created later (NewOptimizer passes
+	// the hub through Options.Obs) reports decisions, actuation, and
+	// billing on the same registry. Timestamps come from the virtual
+	// clock, so instrumentation cannot perturb determinism.
+	hub := obs.NewHub(sched.Now)
+	acct.SetObs(hub)
+	store.SetObs(hub)
 	acct.Subscribe(store)
-	return &Simulation{sched: sched, acct: acct, start: sched.Now(), store: store}
+	return &Simulation{sched: sched, acct: acct, start: sched.Now(), store: store, hub: hub}
 }
 
 // WriteSnapshot serializes the simulation's full telemetry (queries,
@@ -127,6 +138,9 @@ func (s *Simulation) TotalCredits() float64 { return s.acct.TotalCredits() }
 // the optimizer is created after days of simulated traffic, exactly
 // like onboarding a warehouse with existing QUERY_HISTORY.
 func (s *Simulation) NewOptimizer(opts Options) *Optimizer {
+	if opts.Obs == nil {
+		opts.Obs = s.hub
+	}
 	return &Optimizer{sim: s, engine: core.NewEngineWithStore(s.acct, s.store, opts)}
 }
 

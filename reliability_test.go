@@ -1,0 +1,93 @@
+package kwo_test
+
+import (
+	"testing"
+	"time"
+
+	"kwo"
+	"kwo/internal/obs"
+)
+
+// TestReliabilitySummaryMatchesObs runs a faulty scenario and pins the
+// operation-level reliability summary (what kwo-sim prints) to the
+// observability registry and event bus. The summary exists because the
+// raw failure log double-counts: an ALTER that fails transiently and
+// then lands contributes failure rows while the operation succeeded.
+// Every axis of the summary must equal the corresponding metric.
+func TestReliabilitySummaryMatchesObs(t *testing.T) {
+	sim := kwo.NewSimulation(7)
+	sim.InjectFaults(kwo.FaultPlan{AlterFailRate: 0.35, AlterTimeoutRate: 0.1})
+	if _, err := sim.CreateWarehouse(kwo.WarehouseConfig{
+		Name: "MAIN_WH", Size: kwo.SizeLarge, MinClusters: 1, MaxClusters: 2,
+		Policy: kwo.ScaleStandard, AutoSuspend: 10 * time.Minute, AutoResume: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sim.AddWorkload("MAIN_WH", kwo.BIDashboards(60), 8*24*time.Hour)
+	sim.RunFor(2 * 24 * time.Hour)
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	if err := opt.Attach("MAIN_WH", kwo.Settings{Slider: kwo.Balanced}); err != nil {
+		t.Fatal(err)
+	}
+	opt.Start()
+	sim.RunFor(5 * 24 * time.Hour)
+
+	rs := opt.ReliabilitySummary()
+	hub := opt.Obs()
+
+	// The scenario must actually exercise the retry machinery, and the
+	// distinction the summary draws must matter: at a 35% fail rate with
+	// four attempts, most failed operations recover.
+	if rs.FailedAttempts == 0 || rs.ActionsApplied == 0 {
+		t.Fatalf("scenario did not exercise faults: %+v", rs)
+	}
+	if rs.OpsRecovered == 0 {
+		t.Fatalf("no operation recovered by retry — the summary cannot be distinguished from the raw log: %+v", rs)
+	}
+	// The old bug: summing failure-log rows counts recovered operations
+	// as failures. The reconciled view must differ from the raw row
+	// count whenever anything recovered.
+	if raw := len(opt.ActuationFailures()); raw <= rs.OpsAbandoned {
+		t.Fatalf("raw failure rows %d not greater than abandoned ops %d despite %d recoveries",
+			raw, rs.OpsAbandoned, rs.OpsRecovered)
+	}
+
+	// Per-kind failure counters from the registry.
+	byKind := map[string]float64{}
+	for _, fam := range hub.Registry.Snapshot() {
+		if fam.Name != obs.MetricActionFailures {
+			continue
+		}
+		ki := -1
+		for i, l := range fam.Labels {
+			if l == "kind" {
+				ki = i
+			}
+		}
+		if ki < 0 {
+			t.Fatalf("%s has no kind label (labels %v)", fam.Name, fam.Labels)
+		}
+		for _, s := range fam.Samples {
+			byKind[s.LabelValues[ki]] += s.Value
+		}
+	}
+	check := func(what string, got float64, want int) {
+		t.Helper()
+		if got != float64(want) {
+			t.Errorf("%s: registry %g, summary %d", what, got, want)
+		}
+	}
+	check("transient failures", byKind["transient"], rs.FailedAttempts)
+	check("abandoned ops", byKind["exhausted"]+byKind["permanent"], rs.OpsAbandoned)
+	check("aborted retries", byKind["retry-aborted"], rs.RetriesAborted)
+	check("superseded ops", byKind["superseded"], rs.Superseded)
+	check("rejections", byKind["rejected-breaker"]+byKind["rejected-pending"], rs.Rejected)
+	check("breaker opens", byKind["breaker-opened"], rs.BreakerOpens)
+	check("ingest failures", byKind["ingest"], rs.IngestFailures)
+	check("actions applied", hub.Registry.CounterSum(obs.MetricActionsApplied), rs.ActionsApplied)
+
+	// And the event bus agrees with the authoritative success count.
+	if got := hub.Bus.KindCount(obs.EventActionApplied); got != uint64(rs.ActionsApplied) {
+		t.Errorf("action-applied events %d, summary applied %d", got, rs.ActionsApplied)
+	}
+}
