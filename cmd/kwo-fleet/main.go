@@ -1,0 +1,125 @@
+// kwo-fleet runs a multi-tenant fleet: N independent simulated tenants
+// — each its own virtual clock, warehouse, workload, and optimizer,
+// seeded from one fleet seed — advanced in lock-step epochs through a
+// bounded worker pool, then rolled up into cross-fleet KPIs. The rollup
+// is byte-identical for any -workers value.
+//
+// Usage:
+//
+//	kwo-fleet -tenants 16 -epochs 48 -seed 7
+//	kwo-fleet -tenants 64 -workers 8 -fault-rate 0.2 -format csv
+//	kwo-fleet -obs-addr 127.0.0.1:9090 -obs-hold 30s
+//	kwo-fleet -tenant 12 -seed 7            # replay tenant 12 standalone
+//	kwo-fleet -tenant-seed 4242424242       # replay by derived seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"kwo"
+)
+
+func main() {
+	tenants := flag.Int("tenants", 8, "number of independent tenants")
+	seed := flag.Int64("seed", 1, "fleet seed; tenant i runs under its own derived split")
+	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU); never affects results")
+	epochs := flag.Int("epochs", 48, "lock-step epochs to run")
+	epochLen := flag.Duration("epoch-len", time.Hour, "simulated length of one epoch")
+	attachEpoch := flag.Int("attach-epoch", 0, "epoch at which optimizers attach (0 = epochs/4)")
+	faultRate := flag.Float64("fault-rate", 0, "probability a tenant lives behind an unreliable control-plane API")
+	topK := flag.Int("top", 5, "how many regressed tenants the rollup highlights")
+	format := flag.String("format", "text", "rollup output: text, csv, json")
+	obsAddr := flag.String("obs-addr", "", "serve the fleet ops endpoint (merged /metrics, /events) on this address")
+	obsHold := flag.Duration("obs-hold", 0, "keep the process alive this long after the run (requires -obs-addr)")
+	tenantIdx := flag.Int("tenant", -1, "replay this tenant index standalone instead of running the fleet")
+	tenantSeed := flag.String("tenant-seed", "", "replay the tenant holding this derived seed standalone")
+	flag.Parse()
+
+	cfg := kwo.FleetConfig{
+		Tenants:     *tenants,
+		Seed:        *seed,
+		Workers:     *workers,
+		Epochs:      *epochs,
+		EpochLen:    *epochLen,
+		AttachEpoch: *attachEpoch,
+		FaultRate:   *faultRate,
+		TopK:        *topK,
+	}
+
+	// Replay mode: run one tenant standalone under the seed it holds (or
+	// would hold) inside the fleet, and print its KPI row. Byte-identical
+	// to the in-fleet run — same event and snapshot fingerprints.
+	if *tenantIdx >= 0 || *tenantSeed != "" {
+		s := kwo.FleetTenantSeed(*seed, *tenantIdx)
+		if *tenantSeed != "" {
+			v, err := strconv.ParseInt(*tenantSeed, 10, 64)
+			if err != nil {
+				log.Fatalf("kwo-fleet: -tenant-seed %q: %v", *tenantSeed, err)
+			}
+			s = v
+		}
+		kpi, err := kwo.ReplayFleetTenant(s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tenant replay (seed %d, %d epochs × %v):\n", s, cfg.Epochs, cfg.EpochLen)
+		fmt.Printf("  profile:   %s\n", kpi.Profile)
+		fmt.Printf("  queries:   %d  p99 %v\n", kpi.Queries, kpi.P99Latency.Round(10*time.Millisecond))
+		fmt.Printf("  credits:   %.2f actual, %.2f without (savings %.1f%%)\n",
+			kpi.ActualCredits, kpi.WithoutKeebo, kpi.SavingsPercent)
+		fmt.Printf("  events:    %d (fingerprint %s)\n", kpi.ObsEvents, kpi.EventsFingerprint)
+		fmt.Printf("  snapshot:  %s\n", kpi.SnapshotFingerprint)
+		return
+	}
+
+	wallStart := time.Now()
+	f, err := kwo.NewFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The ops endpoint serves the merged view live while the fleet runs;
+	// its notes go to stderr so stdout stays byte-deterministic.
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			log.Fatalf("obs endpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[fleet obs endpoint on http://%s/metrics]\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, f.ObsHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "[obs endpoint: %v]\n", err)
+			}
+		}()
+	}
+	rep, err := f.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *format {
+	case "text":
+		fmt.Print(rep.String())
+	case "csv":
+		if err := rep.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -format %q (text, csv, json)", *format)
+	}
+	fmt.Fprintf(os.Stderr, "[%d tenants × %d epochs in %v wall-clock]\n",
+		cfg.Tenants, cfg.Epochs, time.Since(wallStart).Round(time.Millisecond))
+	if *obsAddr != "" && *obsHold > 0 {
+		fmt.Fprintf(os.Stderr, "[holding ops endpoint for %v]\n", *obsHold)
+		time.Sleep(*obsHold)
+	}
+}

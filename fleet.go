@@ -1,0 +1,67 @@
+package kwo
+
+import (
+	"net/http"
+	"time"
+
+	"kwo/internal/fleet"
+)
+
+// Fleet-scale multi-tenant running: a Fleet provisions N independent
+// simulated tenants (each its own clock, account, telemetry store, obs
+// hub, and optimizer) from one seed and advances them in lock-step
+// epochs through a bounded worker pool. Results are byte-identical for
+// any worker count. See internal/fleet for the full contract.
+type (
+	// FleetConfig shapes a fleet run (tenant count, seed, epochs, …).
+	FleetConfig = fleet.Config
+	// FleetReport is the cross-fleet rollup: fleet KPIs, every
+	// tenant's row, and the top-K regressed tenants.
+	FleetReport = fleet.Report
+	// TenantKPI is one tenant's row in the fleet rollup.
+	TenantKPI = fleet.TenantKPI
+)
+
+// Fleet is a provisioned multi-tenant run.
+type Fleet struct {
+	f *fleet.Fleet
+}
+
+// NewFleet provisions a fleet of independent tenants from cfg.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	f, err := fleet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{f: f}, nil
+}
+
+// Run drives all remaining epochs and returns the cross-fleet rollup.
+func (f *Fleet) Run() (*FleetReport, error) { return f.f.Run() }
+
+// RunEpoch advances every tenant exactly one epoch.
+func (f *Fleet) RunEpoch() error { return f.f.RunEpoch() }
+
+// Epoch returns how many epochs have completed.
+func (f *Fleet) Epoch() int { return f.f.Epoch() }
+
+// Now returns the fleet's current epoch-boundary virtual time.
+func (f *Fleet) Now() time.Time { return f.f.Now() }
+
+// ObsHandler returns the fleet ops HTTP handler: every tenant's
+// metrics merged into one /metrics exposition behind a tenant label,
+// plus /events and /healthz.
+func (f *Fleet) ObsHandler() http.Handler { return fleet.Handler(f.f) }
+
+// FleetTenantSeed derives tenant idx's simulation seed from a fleet
+// seed. ReplayFleetTenant (or `kwo-fleet -tenant-seed`) runs that
+// tenant standalone, byte-identical to its in-fleet run.
+func FleetTenantSeed(fleetSeed int64, idx int) int64 {
+	return fleet.TenantSeed(fleetSeed, idx)
+}
+
+// ReplayFleetTenant replays one tenant standalone under the given seed
+// and fleet config, returning its KPI row.
+func ReplayFleetTenant(seed int64, cfg FleetConfig) (TenantKPI, error) {
+	return fleet.ReplayTenant(seed, cfg)
+}

@@ -48,20 +48,76 @@ func quickstartSnapshot(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
-// TestGoldenTrace runs the quickstart scenario twice with the same seed
-// and asserts both runs produce byte-identical telemetry, which also
-// matches the committed golden file. Regenerate with:
-//
-//	go test . -run TestGoldenTrace -update
-func TestGoldenTrace(t *testing.T) {
-	first := quickstartSnapshot(t)
-	second := quickstartSnapshot(t)
+// multiWarehouseSnapshot reproduces the examples/multi-warehouse
+// scenario — three very different warehouses (dashboards, pipelines,
+// ad-hoc analysis) under one optimizer, each with its own slider —
+// compressed to one day of history plus two optimized days.
+func multiWarehouseSnapshot(t *testing.T) []byte {
+	t.Helper()
+	sim := kwo.NewSimulation(21)
+	type spec struct {
+		cfg    kwo.WarehouseConfig
+		gen    kwo.Generator
+		slider kwo.Slider
+	}
+	specs := []spec{
+		{
+			cfg: kwo.WarehouseConfig{Name: "BI_WH", Size: kwo.SizeLarge,
+				MinClusters: 1, MaxClusters: 3,
+				AutoSuspend: 10 * time.Minute, AutoResume: true},
+			gen:    kwo.BIDashboards(30),
+			slider: kwo.GoodPerformance,
+		},
+		{
+			cfg: kwo.WarehouseConfig{Name: "ETL_WH", Size: kwo.SizeMedium,
+				MinClusters: 1, MaxClusters: 1,
+				AutoSuspend: 10 * time.Minute, AutoResume: true},
+			gen:    kwo.ETLPipeline(time.Hour, 4),
+			slider: kwo.LowCost,
+		},
+		{
+			cfg: kwo.WarehouseConfig{Name: "ADHOC_WH", Size: kwo.SizeMedium,
+				MinClusters: 1, MaxClusters: 2,
+				AutoSuspend: 15 * time.Minute, AutoResume: true},
+			gen:    kwo.AdHocAnalytics(6),
+			slider: kwo.Balanced,
+		},
+	}
+	for _, s := range specs {
+		if _, err := sim.CreateWarehouse(s.cfg); err != nil {
+			t.Fatal(err)
+		}
+		sim.AddWorkload(s.cfg.Name, s.gen, 3*24*time.Hour)
+	}
+	sim.RunFor(24 * time.Hour)
+
+	opt := sim.NewOptimizer(kwo.DefaultOptions())
+	for _, s := range specs {
+		if err := opt.Attach(s.cfg.Name, kwo.Settings{Slider: s.slider}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt.Start()
+	sim.RunFor(2 * 24 * time.Hour)
+	opt.Stop()
+
+	var buf bytes.Buffer
+	if err := sim.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkGolden asserts two same-seed runs agree and match the committed
+// golden file; -update regenerates it.
+func checkGolden(t *testing.T, goldenPath string, snapshot func(*testing.T) []byte) {
+	t.Helper()
+	first := snapshot(t)
+	second := snapshot(t)
 	if !bytes.Equal(first, second) {
 		t.Fatalf("same seed produced different snapshots: %d vs %d bytes",
 			len(first), len(second))
 	}
-
-	const goldenPath = "testdata/quickstart.golden.jsonl"
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -81,4 +137,22 @@ func TestGoldenTrace(t *testing.T) {
 			"if the simulator or engine changed intentionally, rerun with -update",
 			goldenPath, len(first), len(want))
 	}
+}
+
+// TestGoldenTrace runs the quickstart scenario twice with the same seed
+// and asserts both runs produce byte-identical telemetry, which also
+// matches the committed golden file. Regenerate with:
+//
+//	go test . -run TestGoldenTrace -update
+func TestGoldenTrace(t *testing.T) {
+	checkGolden(t, "testdata/quickstart.golden.jsonl", quickstartSnapshot)
+}
+
+// TestGoldenTraceMultiWarehouse pins the multi-warehouse scenario the
+// same way: one optimizer over three heterogeneous warehouses must
+// replay byte-identically. Regenerate with:
+//
+//	go test . -run TestGoldenTraceMultiWarehouse -update
+func TestGoldenTraceMultiWarehouse(t *testing.T) {
+	checkGolden(t, "testdata/multiwarehouse.golden.jsonl", multiWarehouseSnapshot)
 }

@@ -1,0 +1,250 @@
+// Package fleet is the multi-tenant runner: it provisions N fully
+// independent tenants — each its own virtual clock, simulated CDW
+// account, telemetry store, observability hub, and optimizer engine,
+// seeded by a deterministic per-tenant split of one fleet seed — and
+// advances them concurrently through a bounded worker pool in lock-step
+// epochs. Results are byte-identical for any worker count: the same
+// determinism contract experiments.RunIndexed pins for experiment arms,
+// extended to a whole SaaS fleet (the paper's Figure 1 deployment
+// shape: one service optimizing many customers' warehouses at once).
+//
+// Cross-fleet aggregation rolls per-tenant spend/savings/latency/health
+// into fleet KPIs with the top-K regressed tenants, and the merged obs
+// view serves every tenant's metrics on one /metrics endpoint behind a
+// tenant label. A tenant whose optimizer enters degraded/safe mode
+// keeps running — epochs are a time barrier, not a health barrier, so
+// one sick tenant can neither stall nor perturb the rest.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/core"
+	"kwo/internal/experiments"
+	"kwo/internal/obs"
+)
+
+// Config shapes a fleet run. The zero value is not runnable; New
+// applies defaults and validates.
+type Config struct {
+	// Tenants is how many independent tenants to provision.
+	Tenants int
+	// Seed is the fleet seed; tenant i runs under TenantSeed(Seed, i).
+	Seed int64
+	// Workers bounds the epoch worker pool; 0 means one per CPU.
+	// Worker count never affects results, only wall-clock time.
+	Workers int
+	// Epochs is how many lock-step epochs to run.
+	Epochs int
+	// EpochLen is the simulated length of one epoch (default 1h).
+	EpochLen time.Duration
+	// AttachEpoch is the epoch boundary at which every tenant's
+	// optimizer attaches and starts (history accumulates before it).
+	// Default: Epochs/4, at least 1.
+	AttachEpoch int
+	// FaultRate is the probability (per tenant, drawn from the tenant's
+	// own seeded stream) that a tenant lives behind an unreliable
+	// control-plane API.
+	FaultRate float64
+	// FaultTenants force-installs a severe fault plan on the listed
+	// tenant indices regardless of FaultRate — the isolation tests use
+	// it to push one tenant into degraded mode on demand.
+	FaultTenants []int
+	// TopK is how many regressed tenants the rollup highlights
+	// (default 5).
+	TopK int
+	// Opts tunes every tenant's engine; the zero value means
+	// core.DefaultOptions(). Options.Obs is ignored — each tenant gets
+	// its own hub.
+	Opts core.Options
+	// Params are the simulated CDW physical constants; the zero value
+	// means cdw.DefaultSimParams().
+	Params cdw.SimParams
+}
+
+// withDefaults returns the config with defaults applied, or an error
+// if it is not runnable.
+func (c Config) withDefaults() (Config, error) {
+	if c.Tenants <= 0 {
+		return c, fmt.Errorf("fleet: Tenants must be positive, got %d", c.Tenants)
+	}
+	if c.Epochs <= 0 {
+		return c, fmt.Errorf("fleet: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.EpochLen == 0 {
+		c.EpochLen = time.Hour
+	}
+	if c.EpochLen < 0 {
+		return c, fmt.Errorf("fleet: EpochLen must be positive, got %v", c.EpochLen)
+	}
+	if c.AttachEpoch == 0 {
+		c.AttachEpoch = c.Epochs / 4
+		if c.AttachEpoch < 1 {
+			c.AttachEpoch = 1
+		}
+	}
+	if c.AttachEpoch < 0 || c.AttachEpoch >= c.Epochs {
+		return c, fmt.Errorf("fleet: AttachEpoch %d outside [1, Epochs) with Epochs=%d",
+			c.AttachEpoch, c.Epochs)
+	}
+	if c.FaultRate < 0 || c.FaultRate > 1 {
+		return c, fmt.Errorf("fleet: FaultRate %v outside [0, 1]", c.FaultRate)
+	}
+	for _, i := range c.FaultTenants {
+		if i < 0 || i >= c.Tenants {
+			return c, fmt.Errorf("fleet: FaultTenants index %d outside [0, %d)", i, c.Tenants)
+		}
+	}
+	if c.TopK <= 0 {
+		c.TopK = 5
+	}
+	if c.Opts.DecideEvery == 0 {
+		c.Opts = core.DefaultOptions()
+	}
+	if c.Params == (cdw.SimParams{}) {
+		c.Params = cdw.DefaultSimParams()
+	}
+	return c, nil
+}
+
+// Fleet is a provisioned multi-tenant run. Create with New, drive with
+// RunEpoch/Run; the ops endpoints of Handler may be scraped while the
+// fleet is advancing.
+type Fleet struct {
+	cfg     Config
+	tenants []*tenant
+	start   time.Time
+	epoch   int
+	done    bool
+}
+
+// New provisions a fleet: Tenants independent simulation stacks, each
+// seeded from TenantSeed(Seed, i), with workloads scheduled over the
+// whole epoch horizon and optimizer attach armed at the attach epoch.
+func New(cfg Config) (*Fleet, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg}
+	ids := tenantIDs(cfg.Tenants)
+	f.tenants = make([]*tenant, cfg.Tenants)
+	// Provisioning fans out through the same bounded pool as epochs:
+	// generating 64 tenants' month-scale arrival streams is the most
+	// expensive single step of a short run.
+	experiments.RunIndexedN(cfg.Tenants, cfg.Workers, func(i int) struct{} {
+		f.tenants[i] = newTenant(i, ids[i], TenantSeed(cfg.Seed, i), cfg)
+		return struct{}{}
+	})
+	f.start = f.tenants[0].start
+	return f, nil
+}
+
+// tenantIDs returns zero-padded stable tenant labels: t00 … t63.
+func tenantIDs(n int) []string {
+	width := 2
+	for lim := 100; lim < n; lim *= 10 {
+		width++
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%0*d", width, i)
+	}
+	return ids
+}
+
+// Config returns the fleet's effective (defaulted) configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Epoch returns how many epochs have completed.
+func (f *Fleet) Epoch() int { return f.epoch }
+
+// Now returns the fleet's current epoch-boundary virtual time.
+func (f *Fleet) Now() time.Time {
+	return f.start.Add(time.Duration(f.epoch) * f.cfg.EpochLen)
+}
+
+// RunEpoch advances every tenant one epoch through the worker pool and
+// then enforces the epoch barrier: all tenants must sit exactly on the
+// boundary. A degraded tenant advances like any other — simulated time
+// costs the same whether the optimizer is healthy or in safe mode — so
+// the barrier cannot stall on tenant health.
+func (f *Fleet) RunEpoch() error {
+	if f.epoch >= f.cfg.Epochs {
+		return fmt.Errorf("fleet: all %d epochs already run", f.cfg.Epochs)
+	}
+	target := f.start.Add(time.Duration(f.epoch+1) * f.cfg.EpochLen)
+	experiments.RunIndexedN(len(f.tenants), f.cfg.Workers, func(i int) struct{} {
+		f.tenants[i].advanceTo(target)
+		return struct{}{}
+	})
+	f.epoch++
+	for _, t := range f.tenants {
+		if !t.sched.Now().Equal(target) {
+			return fmt.Errorf("fleet: epoch %d barrier violated: tenant %s at %v, want %v",
+				f.epoch, t.id, t.sched.Now(), target)
+		}
+	}
+	return nil
+}
+
+// Run drives all remaining epochs, stops every tenant's optimizer, and
+// returns the cross-fleet rollup. The report is byte-identical for any
+// Workers setting.
+func (f *Fleet) Run() (*Report, error) {
+	for f.epoch < f.cfg.Epochs {
+		if err := f.RunEpoch(); err != nil {
+			return nil, err
+		}
+	}
+	if !f.done {
+		f.done = true
+		experiments.RunIndexedN(len(f.tenants), f.cfg.Workers, func(i int) struct{} {
+			f.tenants[i].finalize()
+			return struct{}{}
+		})
+	}
+	return f.report(), nil
+}
+
+// report rolls up per-tenant KPIs (computed in the pool — savings
+// estimation replays cost models) into the fleet view, sequentially and
+// in index order so the rollup is deterministic.
+func (f *Fleet) report() *Report {
+	kpis := experiments.RunIndexedN(len(f.tenants), f.cfg.Workers, func(i int) TenantKPI {
+		return f.tenants[i].kpi()
+	})
+	return rollup(f.cfg, kpis)
+}
+
+// Registries returns every tenant's metrics registry behind its tenant
+// label, in index order — the input to obs.WriteMergedPrometheus.
+func (f *Fleet) Registries() []obs.LabeledRegistry {
+	out := make([]obs.LabeledRegistry, len(f.tenants))
+	for i, t := range f.tenants {
+		out[i] = obs.LabeledRegistry{Label: t.id, Registry: t.hub.Registry}
+	}
+	return out
+}
+
+// ReplayTenant runs one tenant standalone under the exact seed it holds
+// (or would hold) inside a fleet with this config, and returns its KPI
+// row. Because a tenant's behaviour is a pure function of its seed and
+// the epoch schedule, the standalone run is byte-identical to the
+// in-fleet run: same event fingerprint, same snapshot fingerprint.
+func ReplayTenant(seed int64, cfg Config) (TenantKPI, error) {
+	cfg.Tenants = 1
+	cfg.FaultTenants = nil
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return TenantKPI{}, err
+	}
+	t := newTenant(0, "t00", seed, cfg)
+	for e := 0; e < cfg.Epochs; e++ {
+		t.advanceTo(t.start.Add(time.Duration(e+1) * cfg.EpochLen))
+	}
+	t.finalize()
+	return t.kpi(), nil
+}

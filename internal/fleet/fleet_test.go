@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/core"
+	"kwo/internal/obs"
+)
+
+// -fleet-workers narrows the determinism property to one worker count
+// (compared against the sequential baseline) so CI can matrix worker
+// counts across jobs; 0 keeps the in-test sweep over 1, 4, and 16.
+var fleetWorkers = flag.Int("fleet-workers", 0, "single worker count to verify against the workers=1 baseline (0 = sweep 1,4,16)")
+
+// lightOpts keeps engine behaviour (training, deciding, acting,
+// billing) while cutting offline gradient steps, so a 64-tenant fleet
+// fits a race-enabled test budget.
+func lightOpts() core.Options {
+	o := core.DefaultOptions()
+	o.PretrainSteps = 40
+	return o
+}
+
+func testConfig(tenants, workers int) Config {
+	return Config{
+		Tenants:   tenants,
+		Seed:      7,
+		Workers:   workers,
+		Epochs:    12,
+		EpochLen:  time.Hour,
+		FaultRate: 0.25,
+		Opts:      lightOpts(),
+	}
+}
+
+func runFleet(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+// TestFleetDeterminismAcrossWorkers is the fleet's core property: a
+// 64-tenant fleet produces a byte-identical rollup — down to each
+// tenant's trace-event and telemetry-snapshot fingerprints — whatever
+// the worker pool size. Run with -race, worker count only changes
+// goroutine interleavings, never results.
+func TestFleetDeterminismAcrossWorkers(t *testing.T) {
+	tenants := 64
+	if testing.Short() {
+		tenants = 16
+	}
+	base := runFleet(t, testConfig(tenants, 1))
+	baseFP := base.Fingerprint()
+	sweep := []int{4, 16}
+	if *fleetWorkers > 0 {
+		sweep = []int{*fleetWorkers}
+	}
+	for _, w := range sweep {
+		rep := runFleet(t, testConfig(tenants, w))
+		if fp := rep.Fingerprint(); fp != baseFP {
+			diffTenants(t, base, rep)
+			t.Fatalf("workers=%d fingerprint %s != workers=1 %s", w, fp, baseFP)
+		}
+	}
+}
+
+// diffTenants pinpoints which tenant diverged when fingerprints differ.
+func diffTenants(t *testing.T, a, b *Report) {
+	t.Helper()
+	for i := range a.PerTenant {
+		if i >= len(b.PerTenant) {
+			break
+		}
+		x, y := a.PerTenant[i], b.PerTenant[i]
+		if x.EventsFingerprint != y.EventsFingerprint || x.SnapshotFingerprint != y.SnapshotFingerprint {
+			t.Errorf("tenant %s diverged: events %s/%s snapshot %s/%s",
+				x.Tenant, x.EventsFingerprint, y.EventsFingerprint,
+				x.SnapshotFingerprint, y.SnapshotFingerprint)
+		}
+	}
+}
+
+// TestDegradedTenantIsolation forces one tenant behind a control plane
+// broken badly enough for safe mode, and checks (a) the fleet still
+// completes every epoch — the barrier is a time barrier, not a health
+// barrier — and (b) every OTHER tenant's behaviour is byte-identical
+// to a run without the sick tenant: degradation cannot leak.
+func TestDegradedTenantIsolation(t *testing.T) {
+	const sick = 3
+	cfg := testConfig(12, 4)
+	cfg.FaultRate = 0 // isolate the forced plan as the only difference
+	clean := runFleet(t, cfg)
+	cfg.FaultTenants = []int{sick}
+	faulty := runFleet(t, cfg)
+
+	if got := faulty.PerTenant[sick].Faults; got.AlterFailures == 0 {
+		t.Errorf("forced-fault tenant saw no alter failures: %+v", got)
+	}
+	if k := faulty.PerTenant[sick]; !k.Degraded && k.DegradedTicks == 0 {
+		t.Errorf("forced-fault tenant never degraded: %+v", k)
+	}
+	if faulty.Epochs != cfg.Epochs {
+		t.Errorf("fleet stopped early: %d epochs of %d", faulty.Epochs, cfg.Epochs)
+	}
+	for i := range clean.PerTenant {
+		if i == sick {
+			continue
+		}
+		c, f := clean.PerTenant[i], faulty.PerTenant[i]
+		if c.EventsFingerprint != f.EventsFingerprint {
+			t.Errorf("tenant %s events perturbed by tenant %d's faults", c.Tenant, sick)
+		}
+		if c.SnapshotFingerprint != f.SnapshotFingerprint {
+			t.Errorf("tenant %s snapshot perturbed by tenant %d's faults", c.Tenant, sick)
+		}
+	}
+}
+
+// TestReplayTenantMatchesFleet checks the replay contract: running one
+// tenant standalone under its derived seed reproduces its in-fleet
+// behaviour bit for bit.
+func TestReplayTenantMatchesFleet(t *testing.T) {
+	cfg := testConfig(8, 4)
+	rep := runFleet(t, cfg)
+	for _, idx := range []int{0, 3, 7} {
+		in := rep.PerTenant[idx]
+		got, err := ReplayTenant(TenantSeed(cfg.Seed, idx), cfg)
+		if err != nil {
+			t.Fatalf("ReplayTenant(%d): %v", idx, err)
+		}
+		if got.EventsFingerprint != in.EventsFingerprint {
+			t.Errorf("tenant %d replay events %s != in-fleet %s", idx, got.EventsFingerprint, in.EventsFingerprint)
+		}
+		if got.SnapshotFingerprint != in.SnapshotFingerprint {
+			t.Errorf("tenant %d replay snapshot %s != in-fleet %s", idx, got.SnapshotFingerprint, in.SnapshotFingerprint)
+		}
+		if got.Queries != in.Queries || got.ActualCredits != in.ActualCredits {
+			t.Errorf("tenant %d replay KPIs diverged: %+v vs %+v", idx, got, in)
+		}
+	}
+}
+
+// TestEpochBarrier drives epochs one at a time and checks the clock
+// lands exactly on each boundary, and that overrunning errors.
+func TestEpochBarrier(t *testing.T) {
+	cfg := testConfig(3, 2)
+	cfg.Epochs = 4
+	cfg.AttachEpoch = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := f.Now()
+	for e := 0; e < cfg.Epochs; e++ {
+		if err := f.RunEpoch(); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		want := start.Add(time.Duration(e+1) * cfg.EpochLen)
+		if !f.Now().Equal(want) {
+			t.Fatalf("after epoch %d fleet at %v, want %v", e, f.Now(), want)
+		}
+		if f.Epoch() != e+1 {
+			t.Fatalf("Epoch() = %d, want %d", f.Epoch(), e+1)
+		}
+	}
+	if err := f.RunEpoch(); err == nil {
+		t.Fatal("RunEpoch past the end should error")
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatalf("Run after manual epochs: %v", err)
+	}
+}
+
+// TestMergedMetricsParse checks the merged exposition obeys the strict
+// parser and carries every tenant behind the tenant label.
+func TestMergedMetricsParse(t *testing.T) {
+	cfg := testConfig(4, 2)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := obs.WriteMergedPrometheus(&b, TenantLabel, f.Registries()); err != nil {
+		t.Fatalf("WriteMergedPrometheus: %v", err)
+	}
+	parsed, err := obs.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("merged exposition does not parse: %v", err)
+	}
+	for _, spec := range obs.Catalog() {
+		if !parsed.Has(spec.Name) {
+			t.Errorf("merged exposition missing catalog family %s", spec.Name)
+		}
+	}
+	for _, id := range []string{"t00", "t01", "t02", "t03"} {
+		if !strings.Contains(b.String(), TenantLabel+`="`+id+`"`) {
+			t.Errorf("merged exposition missing tenant %s", id)
+		}
+	}
+}
+
+func TestTenantSeedStable(t *testing.T) {
+	// The derivation is a documented replay contract — a change here
+	// silently breaks `kwo-fleet -tenant-seed` invocations users saved.
+	if got := TenantSeed(0, 0); got != 5961753611672827773 {
+		t.Errorf("TenantSeed(0,0) = %d; derivation changed", got)
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 256; i++ {
+		s := TenantSeed(7, i)
+		if seen[s] {
+			t.Fatalf("duplicate tenant seed at index %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no tenants", func(c *Config) { c.Tenants = 0 }},
+		{"no epochs", func(c *Config) { c.Epochs = 0 }},
+		{"negative epoch len", func(c *Config) { c.EpochLen = -time.Hour }},
+		{"attach past end", func(c *Config) { c.AttachEpoch = 12 }},
+		{"fault rate > 1", func(c *Config) { c.FaultRate = 1.5 }},
+		{"fault tenant out of range", func(c *Config) { c.FaultTenants = []int{99} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(4, 1)
+			tc.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Errorf("New accepted invalid config (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func TestTenantIDs(t *testing.T) {
+	ids := tenantIDs(64)
+	if ids[0] != "t00" || ids[63] != "t63" {
+		t.Errorf("tenantIDs(64) = %v … %v", ids[0], ids[63])
+	}
+	ids = tenantIDs(101)
+	if ids[0] != "t000" || ids[100] != "t100" {
+		t.Errorf("tenantIDs(101) = %v … %v", ids[0], ids[100])
+	}
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"kwo/internal/obs"
+)
+
+// TenantLabel is the label name distinguishing tenants in the merged
+// metrics exposition.
+const TenantLabel = "tenant"
+
+// Handler serves the fleet ops surface:
+//
+//	/metrics          merged Prometheus exposition of every tenant's
+//	                  registry, each sample behind tenant="tNN"
+//	/events           recent trace events (?tenant=, ?n=, ?kind=);
+//	                  without ?tenant= all tenants are emitted in
+//	                  index order
+//	/healthz          liveness probe
+//	/                 plain-text index
+//
+// All endpoints are read-only and safe to scrape while the fleet is
+// advancing: registries and buses carry their own locks, and the
+// tenant list is immutable after New.
+func Handler(f *Fleet) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WriteMergedPrometheus(w, TenantLabel, f.Registries()); err != nil {
+			fmt.Fprintf(w, "# write error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		kind := obs.EventKind(r.URL.Query().Get("kind"))
+		want := r.URL.Query().Get(TenantLabel)
+		var b strings.Builder
+		found := false
+		for _, t := range f.tenants {
+			if want != "" && t.id != want {
+				continue
+			}
+			found = true
+			for _, ev := range t.hub.Bus.Recent(n) {
+				if kind != "" && ev.Kind != kind {
+					continue
+				}
+				b.WriteString(ev.JSON())
+				b.WriteByte('\n')
+			}
+		}
+		if want != "" && !found {
+			http.Error(w, fmt.Sprintf("unknown tenant %q", want), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "kwo fleet ops endpoint (%d tenants)\n\n/metrics\n/events?tenant=t00&n=100&kind=\n/healthz\n",
+			len(f.tenants))
+	})
+	return mux
+}

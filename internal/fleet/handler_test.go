@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kwo/internal/obs"
+)
+
+func testHandler(t *testing.T) http.Handler {
+	t.Helper()
+	cfg := testConfig(3, 2)
+	cfg.Epochs = 6
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return Handler(f)
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerMetricsMerged(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	parsed, err := obs.ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics not strict exposition format: %v", err)
+	}
+	for _, spec := range obs.Catalog() {
+		if !parsed.Has(spec.Name) {
+			t.Errorf("/metrics missing catalog family %s", spec.Name)
+		}
+	}
+	for _, id := range []string{"t00", "t01", "t02"} {
+		if !strings.Contains(body, TenantLabel+`="`+id+`"`) {
+			t.Errorf("/metrics missing tenant %s", id)
+		}
+	}
+}
+
+func TestHandlerEvents(t *testing.T) {
+	h := testHandler(t)
+	code, body := get(t, h, "/events?tenant=t00&n=5")
+	if code != http.StatusOK {
+		t.Fatalf("/events status %d: %s", code, body)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line != "" && !strings.HasPrefix(line, "{") {
+			t.Errorf("/events line is not JSON: %s", line)
+		}
+	}
+	if code, _ := get(t, h, "/events?tenant=nope"); code != http.StatusNotFound {
+		t.Errorf("unknown tenant should 404, got %d", code)
+	}
+	if code, _ := get(t, h, "/events?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n should 400, got %d", code)
+	}
+}
+
+func TestHandlerIndexAndHealth(t *testing.T) {
+	h := testHandler(t)
+	if code, body := get(t, h, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	if code, _ := get(t, h, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path should 404, got %d", code)
+	}
+}

@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+// TenantKPI is one tenant's row in the fleet rollup.
+type TenantKPI struct {
+	Tenant  string `json:"tenant"`
+	Index   int    `json:"index"`
+	Seed    int64  `json:"seed"`
+	Profile string `json:"profile"`
+
+	Queries        int           `json:"queries"`
+	ActualCredits  float64       `json:"actual_credits"`
+	WithoutKeebo   float64       `json:"without_keebo_credits"`
+	Savings        float64       `json:"savings_credits"`
+	SavingsPercent float64       `json:"savings_percent"`
+	P99Latency     time.Duration `json:"p99_latency_ns"`
+
+	ActionsApplied int  `json:"actions_applied"`
+	Invoices       int  `json:"invoices"`
+	ModelReady     bool `json:"model_ready"`
+
+	Degraded      bool            `json:"degraded"`
+	DegradedTicks int             `json:"degraded_ticks"`
+	Recoveries    int             `json:"recoveries"`
+	Faults        cdw.FaultCounts `json:"faults"`
+
+	ObsEvents           uint64 `json:"obs_events"`
+	EventsFingerprint   string `json:"events_fingerprint"`
+	SnapshotFingerprint string `json:"snapshot_fingerprint"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// Report is the cross-fleet rollup: fleet KPIs plus every tenant row
+// and the top-K regressed tenants. It deliberately records nothing
+// about worker counts or wall-clock time, so the serialized report is
+// byte-identical for any pool size.
+type Report struct {
+	Seed        int64         `json:"seed"`
+	Tenants     int           `json:"tenants"`
+	Epochs      int           `json:"epochs"`
+	EpochLen    time.Duration `json:"epoch_len_ns"`
+	AttachEpoch int           `json:"attach_epoch"`
+
+	TotalQueries   int     `json:"total_queries"`
+	TotalActual    float64 `json:"total_actual_credits"`
+	TotalWithout   float64 `json:"total_without_keebo_credits"`
+	TotalSavings   float64 `json:"total_savings_credits"`
+	SavingsPercent float64 `json:"savings_percent"`
+
+	MeanP99 time.Duration `json:"mean_p99_ns"`
+	MaxP99  time.Duration `json:"max_p99_ns"`
+
+	TotalActions    int             `json:"total_actions_applied"`
+	TotalInvoices   int             `json:"total_invoices"`
+	DegradedTenants int             `json:"degraded_tenants"`
+	FaultyTenants   int             `json:"faulty_tenants"`
+	TotalFaults     cdw.FaultCounts `json:"total_faults"`
+	ObsEvents       uint64          `json:"obs_events"`
+
+	PerTenant    []TenantKPI `json:"per_tenant"`
+	TopRegressed []TenantKPI `json:"top_regressed"`
+}
+
+// rollup folds per-tenant KPIs (already in index order) into the fleet
+// report.
+func rollup(cfg Config, kpis []TenantKPI) *Report {
+	r := &Report{
+		Seed:        cfg.Seed,
+		Tenants:     cfg.Tenants,
+		Epochs:      cfg.Epochs,
+		EpochLen:    cfg.EpochLen,
+		AttachEpoch: cfg.AttachEpoch,
+		PerTenant:   kpis,
+	}
+	var p99Sum time.Duration
+	for _, k := range kpis {
+		r.TotalQueries += k.Queries
+		r.TotalActual += k.ActualCredits
+		r.TotalWithout += k.WithoutKeebo
+		r.TotalSavings += k.Savings
+		r.TotalActions += k.ActionsApplied
+		r.TotalInvoices += k.Invoices
+		r.ObsEvents += k.ObsEvents
+		if k.DegradedTicks > 0 || k.Degraded {
+			r.DegradedTenants++
+		}
+		if k.Faults != (cdw.FaultCounts{}) {
+			r.FaultyTenants++
+		}
+		r.TotalFaults.AlterFailures += k.Faults.AlterFailures
+		r.TotalFaults.AlterAckLosts += k.Faults.AlterAckLosts
+		r.TotalFaults.BillingFailures += k.Faults.BillingFailures
+		p99Sum += k.P99Latency
+		if k.P99Latency > r.MaxP99 {
+			r.MaxP99 = k.P99Latency
+		}
+	}
+	if len(kpis) > 0 {
+		r.MeanP99 = p99Sum / time.Duration(len(kpis))
+	}
+	if r.TotalWithout > 0 {
+		r.SavingsPercent = 100 * r.TotalSavings / r.TotalWithout
+	}
+	r.TopRegressed = topRegressed(kpis, cfg.TopK)
+	return r
+}
+
+// topRegressed ranks tenants most-regressed-first: degraded tenants
+// ahead of healthy ones, then by lowest savings percent, then by worst
+// p99, then by index for a total (deterministic) order.
+func topRegressed(kpis []TenantKPI, k int) []TenantKPI {
+	ranked := append([]TenantKPI(nil), kpis...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		ad, bd := a.Degraded || a.DegradedTicks > 0, b.Degraded || b.DegradedTicks > 0
+		if ad != bd {
+			return ad
+		}
+		if a.SavingsPercent != b.SavingsPercent {
+			return a.SavingsPercent < b.SavingsPercent
+		}
+		if a.P99Latency != b.P99Latency {
+			return a.P99Latency > b.P99Latency
+		}
+		return a.Index < b.Index
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// csvHeader is the rollup's column contract; WriteCSV and the
+// fingerprint both build on it.
+const csvHeader = "tenant,index,seed,profile,queries,actual_credits,without_keebo_credits," +
+	"savings_credits,savings_percent,p99_ms,actions_applied,invoices,model_ready," +
+	"degraded,degraded_ticks,recoveries,alter_failures,alter_ack_losts,billing_failures," +
+	"obs_events,events_fingerprint,snapshot_fingerprint,err"
+
+// WriteCSV renders the per-tenant rollup as deterministic CSV: fixed
+// column order, shortest-round-trip floats, one row per tenant in
+// index order.
+func (r *Report) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(csvHeader + "\n")
+	for _, k := range r.PerTenant {
+		fmt.Fprintf(&b, "%s,%d,%d,%s,%d,%s,%s,%s,%s,%s,%d,%d,%t,%t,%d,%d,%d,%d,%d,%d,%s,%s,%s\n",
+			k.Tenant, k.Index, k.Seed, k.Profile, k.Queries,
+			fmtFloat(k.ActualCredits), fmtFloat(k.WithoutKeebo), fmtFloat(k.Savings),
+			fmtFloat(k.SavingsPercent), fmtFloat(float64(k.P99Latency)/float64(time.Millisecond)),
+			k.ActionsApplied, k.Invoices, k.ModelReady,
+			k.Degraded, k.DegradedTicks, k.Recoveries,
+			k.Faults.AlterFailures, k.Faults.AlterAckLosts, k.Faults.BillingFailures,
+			k.ObsEvents, k.EventsFingerprint, k.SnapshotFingerprint, k.Err)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the full report (fleet KPIs + per-tenant rows +
+// top-K) as deterministic indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Fingerprint is the rollup's determinism fingerprint: a SHA-256 over
+// the CSV rendering, which itself embeds every tenant's event and
+// snapshot fingerprints. Two fleet runs agree on this hex string iff
+// they agreed on every tenant's full behaviour.
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	_ = r.WriteCSV(&b)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// String renders the operator-facing fleet summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d tenants, %d epochs × %v (attach at epoch %d), seed %d\n",
+		r.Tenants, r.Epochs, r.EpochLen, r.AttachEpoch, r.Seed)
+	fmt.Fprintf(&b, "  spend:    %10.2f credits (without Keebo: %.2f)\n", r.TotalActual, r.TotalWithout)
+	fmt.Fprintf(&b, "  savings:  %10.2f credits (%.1f%%)\n", r.TotalSavings, r.SavingsPercent)
+	fmt.Fprintf(&b, "  queries:  %10d   p99 mean %v  max %v\n",
+		r.TotalQueries, r.MeanP99.Round(10*time.Millisecond), r.MaxP99.Round(10*time.Millisecond))
+	fmt.Fprintf(&b, "  actions:  %10d applied, %d invoices\n", r.TotalActions, r.TotalInvoices)
+	fmt.Fprintf(&b, "  health:   %d/%d tenants degraded at some point, %d behind faulty APIs (%d alter failures, %d lost acks, %d billing failures)\n",
+		r.DegradedTenants, r.Tenants, r.FaultyTenants,
+		r.TotalFaults.AlterFailures, r.TotalFaults.AlterAckLosts, r.TotalFaults.BillingFailures)
+	fmt.Fprintf(&b, "  events:   %10d trace events across tenant hubs\n", r.ObsEvents)
+	if len(r.TopRegressed) > 0 {
+		fmt.Fprintf(&b, "  top regressed tenants:\n")
+		for _, k := range r.TopRegressed {
+			state := "healthy"
+			if k.Degraded {
+				state = "degraded"
+			} else if k.DegradedTicks > 0 {
+				state = fmt.Sprintf("recovered(%d ticks)", k.DegradedTicks)
+			}
+			fmt.Fprintf(&b, "    %s  seed=%-20d savings %5.1f%%  p99 %-8v %-22s %s\n",
+				k.Tenant, k.Seed, k.SavingsPercent,
+				k.P99Latency.Round(10*time.Millisecond), state, k.Profile)
+		}
+	}
+	fmt.Fprintf(&b, "  fingerprint: %s\n", r.Fingerprint())
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"kwo/internal/cdw"
+)
+
+func sampleKPIs() []TenantKPI {
+	return []TenantKPI{
+		{Tenant: "t00", Index: 0, Queries: 100, ActualCredits: 50, WithoutKeebo: 100,
+			Savings: 50, SavingsPercent: 50, P99Latency: 2 * time.Second, ObsEvents: 10,
+			EventsFingerprint: "aa", SnapshotFingerprint: "bb"},
+		{Tenant: "t01", Index: 1, Queries: 200, ActualCredits: 90, WithoutKeebo: 100,
+			Savings: 10, SavingsPercent: 10, P99Latency: 8 * time.Second, ObsEvents: 20,
+			Faults: cdw.FaultCounts{AlterFailures: 3}},
+		{Tenant: "t02", Index: 2, Queries: 300, ActualCredits: 80, WithoutKeebo: 100,
+			Savings: 20, SavingsPercent: 20, P99Latency: 4 * time.Second,
+			Degraded: true, DegradedTicks: 7, Recoveries: 1},
+		{Tenant: "t03", Index: 3, Queries: 50, ActualCredits: 95, WithoutKeebo: 100,
+			Savings: 5, SavingsPercent: 5, P99Latency: 9 * time.Second},
+	}
+}
+
+func sampleConfig() Config {
+	return Config{Tenants: 4, Seed: 9, Epochs: 10, EpochLen: time.Hour,
+		AttachEpoch: 2, TopK: 2}
+}
+
+func TestRollupTotals(t *testing.T) {
+	r := rollup(sampleConfig(), sampleKPIs())
+	if r.TotalQueries != 650 {
+		t.Errorf("TotalQueries = %d, want 650", r.TotalQueries)
+	}
+	if r.TotalActual != 315 || r.TotalWithout != 400 || r.TotalSavings != 85 {
+		t.Errorf("credits rollup = %v/%v/%v", r.TotalActual, r.TotalWithout, r.TotalSavings)
+	}
+	if want := 100 * 85.0 / 400.0; r.SavingsPercent != want {
+		t.Errorf("SavingsPercent = %v, want %v", r.SavingsPercent, want)
+	}
+	if r.MaxP99 != 9*time.Second {
+		t.Errorf("MaxP99 = %v", r.MaxP99)
+	}
+	if want := (2 + 8 + 4 + 9) * time.Second / 4; r.MeanP99 != want {
+		t.Errorf("MeanP99 = %v, want %v", r.MeanP99, want)
+	}
+	if r.DegradedTenants != 1 || r.FaultyTenants != 1 {
+		t.Errorf("health rollup: degraded=%d faulty=%d", r.DegradedTenants, r.FaultyTenants)
+	}
+	if r.TotalFaults.AlterFailures != 3 {
+		t.Errorf("TotalFaults = %+v", r.TotalFaults)
+	}
+	if r.ObsEvents != 30 {
+		t.Errorf("ObsEvents = %d", r.ObsEvents)
+	}
+}
+
+func TestTopRegressedOrdering(t *testing.T) {
+	r := rollup(sampleConfig(), sampleKPIs())
+	if len(r.TopRegressed) != 2 {
+		t.Fatalf("TopK=2 but got %d", len(r.TopRegressed))
+	}
+	// The degraded tenant outranks everyone, then lowest savings.
+	if r.TopRegressed[0].Tenant != "t02" || r.TopRegressed[1].Tenant != "t03" {
+		t.Errorf("TopRegressed = %s, %s; want t02, t03",
+			r.TopRegressed[0].Tenant, r.TopRegressed[1].Tenant)
+	}
+	// Ties on savings break by worse p99, then index.
+	tied := []TenantKPI{
+		{Tenant: "a", Index: 0, SavingsPercent: 10, P99Latency: time.Second},
+		{Tenant: "b", Index: 1, SavingsPercent: 10, P99Latency: 5 * time.Second},
+		{Tenant: "c", Index: 2, SavingsPercent: 10, P99Latency: 5 * time.Second},
+	}
+	top := topRegressed(tied, 5)
+	if top[0].Tenant != "b" || top[1].Tenant != "c" || top[2].Tenant != "a" {
+		t.Errorf("tie-break order = %s,%s,%s; want b,c,a", top[0].Tenant, top[1].Tenant, top[2].Tenant)
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	r := rollup(sampleConfig(), sampleKPIs())
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want header + 4 rows", len(lines))
+	}
+	cols := strings.Split(lines[0], ",")
+	for i, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != len(cols) {
+			t.Errorf("row %d has %d columns, header has %d", i, got, len(cols))
+		}
+	}
+	if !strings.HasPrefix(lines[1], "t00,0,") {
+		t.Errorf("row order broken: %s", lines[1])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := rollup(sampleConfig(), sampleKPIs())
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("rollup JSON does not round-trip: %v", err)
+	}
+	if back.TotalQueries != r.TotalQueries || len(back.PerTenant) != len(r.PerTenant) {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := rollup(sampleConfig(), sampleKPIs())
+	b := rollup(sampleConfig(), sampleKPIs())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical rollups disagree on fingerprint")
+	}
+	kpis := sampleKPIs()
+	kpis[2].EventsFingerprint = "changed"
+	c := rollup(sampleConfig(), kpis)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprint blind to a tenant's event-stream change")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := rollup(sampleConfig(), sampleKPIs()).String()
+	for _, want := range []string{"4 tenants", "savings", "top regressed", "t02", "fingerprint:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"math/rand"
+	"time"
+
+	"kwo/internal/cdw"
+	"kwo/internal/core"
+	"kwo/internal/obs"
+	"kwo/internal/policy"
+	"kwo/internal/simclock"
+	"kwo/internal/telemetry"
+	"kwo/internal/workload"
+)
+
+// warehouseName is the single warehouse every tenant runs. A fixed name
+// keeps a tenant's behaviour a pure function of its seed (so a tenant
+// can be replayed standalone from the seed alone); the merged obs view
+// tells tenants apart by the tenant label, not the warehouse name.
+const warehouseName = "MAIN_WH"
+
+// TenantSeed derives tenant idx's simulation seed from the fleet seed,
+// using the same FNV-split idiom as simclock.Scheduler.Rand. The split
+// is a documented contract: `kwo-fleet -tenant-seed $(this value)`
+// replays one tenant standalone, byte-identical to its in-fleet run.
+func TenantSeed(fleetSeed int64, idx int) int64 {
+	h := fnvHash(fmt.Sprintf("fleet:tenant:%d", idx))
+	return fleetSeed ^ int64(h)
+}
+
+func fnvHash(s string) uint64 {
+	// FNV-1a, inlined to keep the derivation self-describing here.
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// profile is a tenant's derived shape: workload class and intensity,
+// warehouse size, slider stance. It is drawn entirely from the tenant's
+// own seeded RNG stream, so a tenant's profile — like everything else
+// about it — reproduces from its seed.
+type profile struct {
+	Workload    string // bi | etl | adhoc | mixed
+	QPH         float64
+	Size        cdw.Size
+	Slider      policy.Slider
+	MaxClusters int
+	AutoSuspend time.Duration
+}
+
+// String renders the profile compactly (no commas — it rides inside CSV
+// rollup rows).
+func (p profile) String() string {
+	return fmt.Sprintf("%s qph=%.1f size=%s slider=%d clusters<=%d suspend=%s",
+		p.Workload, p.QPH, p.Size, int(p.Slider), p.MaxClusters, p.AutoSuspend)
+}
+
+func deriveProfile(rng *rand.Rand) profile {
+	var p profile
+	p.Workload = []string{"bi", "etl", "adhoc", "mixed"}[rng.Intn(4)]
+	p.QPH = 8 + 16*rng.Float64()
+	p.Size = []cdw.Size{cdw.SizeSmall, cdw.SizeMedium, cdw.SizeLarge}[rng.Intn(3)]
+	p.Slider = []policy.Slider{policy.GoodPerformance, policy.Balanced, policy.LowCost}[rng.Intn(3)]
+	p.MaxClusters = 1 + rng.Intn(2)
+	p.AutoSuspend = time.Duration(5+5*rng.Intn(3)) * time.Minute
+	return p
+}
+
+// generator builds the profile's arrival generator from the standard
+// template pools (fresh pools per tenant — nothing shared).
+func (p profile) generator() workload.Generator {
+	bi, etl, adhoc := workload.StandardPools()
+	switch p.Workload {
+	case "etl":
+		return workload.ETL{Pool: etl, Period: time.Hour, Offset: 5 * time.Minute,
+			JobsPerBatch: 3, Jitter: 2 * time.Minute}
+	case "adhoc":
+		return workload.AdHoc{Pool: adhoc, BaseQPH: p.QPH / 2, DayVariance: 0.7,
+			BurstsPerDay: 2, BurstQPH: 5 * p.QPH, BurstLen: 15 * time.Minute}
+	case "mixed":
+		return workload.Mixed{Parts: []workload.Generator{
+			workload.BI{Pool: bi, PeakQPH: p.QPH, WeekendFactor: 0.2},
+			workload.ETL{Pool: etl, Period: 2 * time.Hour, Offset: 5 * time.Minute,
+				JobsPerBatch: 2, Jitter: 2 * time.Minute},
+		}}
+	default: // bi
+		return workload.BI{Pool: bi, PeakQPH: p.QPH, WeekendFactor: 0.2}
+	}
+}
+
+// deriveFaultPlan decides, from the tenant's own fault RNG stream,
+// whether this tenant lives behind an unreliable control plane. The
+// draws happen unconditionally so the stream stays aligned whatever the
+// rate — replaying a tenant with the same seed and rate reproduces the
+// same plan.
+func deriveFaultPlan(rng *rand.Rand, rate float64) *cdw.FaultPlan {
+	roll := rng.Float64()
+	plan := cdw.FaultPlan{
+		AlterFailRate:    0.15 + 0.25*rng.Float64(),
+		AlterTimeoutRate: 0.05 + 0.10*rng.Float64(),
+		BillingLag:       time.Duration(rng.Intn(3)) * time.Hour,
+	}
+	if roll >= rate {
+		return nil
+	}
+	return &plan
+}
+
+// forcedFaultPlan is the severe plan installed on tenants explicitly
+// listed in Config.FaultTenants — a billing outage blinding the
+// optimizer from attach until the given end, plus a high ALTER failure
+// rate. The outage guarantees degraded/safe mode engages (three failed
+// metering pulls trip it), which is exactly what the epoch-barrier
+// isolation test needs.
+func forcedFaultPlan(outageFrom, outageTo time.Time) *cdw.FaultPlan {
+	return &cdw.FaultPlan{
+		AlterFailRate:    0.9,
+		AlterTimeoutRate: 0.05,
+		BillingOutages:   []cdw.FaultWindow{{From: outageFrom, To: outageTo}},
+	}
+}
+
+// eventHasher is an obs sink folding every trace event's deterministic
+// JSON line into a running SHA-256 — the per-tenant ObsEvents
+// fingerprint, without buffering the whole stream.
+type eventHasher struct {
+	h hash.Hash
+	n uint64
+}
+
+func newEventHasher() *eventHasher { return &eventHasher{h: sha256.New()} }
+
+// Emit implements obs.Sink. Each tenant's bus emits from at most one
+// fleet worker at a time (epoch barriers order cross-worker handoffs),
+// so no extra locking is needed.
+func (e *eventHasher) Emit(ev obs.Event) {
+	io.WriteString(e.h, ev.JSON())
+	e.h.Write([]byte{'\n'})
+	e.n++
+}
+
+// Sum returns the hex fingerprint of everything hashed so far.
+func (e *eventHasher) Sum() string { return hex.EncodeToString(e.h.Sum(nil)) }
+
+// tenant is one fully independent simulation stack: its own virtual
+// clock, simulated account, telemetry store, obs hub, and optimizer
+// engine. Tenants share no mutable state — that is the fleet's whole
+// determinism and isolation story.
+type tenant struct {
+	idx  int
+	id   string
+	seed int64
+	prof profile
+	plan *cdw.FaultPlan
+
+	sched  *simclock.Scheduler
+	acct   *cdw.Account
+	store  *telemetry.Store
+	hub    *obs.Hub
+	eng    *core.Engine
+	events *eventHasher
+
+	start     time.Time
+	attachAt  time.Time
+	scheduled int
+	attachErr error
+}
+
+// newTenant provisions one tenant: derive its profile and fault plan,
+// create its warehouse, schedule its whole workload horizon, and arm
+// the optimizer attach at the attach epoch.
+func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
+	t := &tenant{idx: idx, id: id, seed: seed}
+	t.sched = simclock.NewScheduler(seed)
+	t.acct = cdw.NewAccount(t.sched, cfg.Params)
+	t.store = telemetry.NewStore()
+	t.hub = obs.NewHub(t.sched.Now)
+	t.events = newEventHasher()
+	t.hub.Bus.AddSink(t.events)
+	t.acct.SetObs(t.hub)
+	t.store.SetObs(t.hub)
+	t.acct.Subscribe(t.store)
+
+	t.start = t.sched.Now()
+	horizon := time.Duration(cfg.Epochs) * cfg.EpochLen
+	t.attachAt = t.start.Add(time.Duration(cfg.AttachEpoch) * cfg.EpochLen)
+
+	t.prof = deriveProfile(t.sched.Rand("fleet:profile"))
+	t.plan = deriveFaultPlan(t.sched.Rand("fleet:faults"), cfg.FaultRate)
+	for _, f := range cfg.FaultTenants {
+		if f == idx {
+			t.plan = forcedFaultPlan(t.attachAt, t.attachAt.Add(4*cfg.EpochLen))
+		}
+	}
+	if t.plan != nil {
+		t.acct.SetFaults(*t.plan)
+	}
+
+	if _, err := t.acct.CreateWarehouse(cdw.Config{
+		Name:        warehouseName,
+		Size:        t.prof.Size,
+		MinClusters: 1,
+		MaxClusters: t.prof.MaxClusters,
+		Policy:      cdw.ScaleStandard,
+		AutoSuspend: t.prof.AutoSuspend,
+		AutoResume:  true,
+	}); err != nil {
+		t.attachErr = fmt.Errorf("tenant %s: create warehouse: %w", id, err)
+		return t
+	}
+
+	gen := t.prof.generator()
+	arr := gen.Generate(t.start, t.start.Add(horizon), t.sched.Rand("fleet:workload:"+gen.Name()))
+	t.scheduled, _ = workload.Drive(t.sched, t.acct, warehouseName, arr)
+
+	opts := cfg.Opts
+	opts.Obs = t.hub
+	t.eng = core.NewEngineWithStore(t.acct, t.store, opts)
+	t.sched.Schedule(t.attachAt, "fleet:attach", func() {
+		settings := core.WarehouseSettings{Slider: t.prof.Slider}
+		if _, err := t.eng.Attach(warehouseName, settings); err != nil {
+			t.attachErr = fmt.Errorf("tenant %s: attach: %w", id, err)
+			return
+		}
+		t.eng.Start()
+	})
+	return t
+}
+
+// advanceTo runs the tenant's simulation up to the epoch boundary.
+func (t *tenant) advanceTo(target time.Time) { t.sched.RunUntil(target) }
+
+// finalize stops the optimizer loops after the last epoch.
+func (t *tenant) finalize() {
+	if t.eng != nil {
+		t.eng.Stop()
+	}
+}
+
+// kpi rolls the tenant's run up into one report row.
+func (t *tenant) kpi() TenantKPI {
+	now := t.sched.Now()
+	k := TenantKPI{
+		Tenant:  t.id,
+		Index:   t.idx,
+		Seed:    t.seed,
+		Profile: t.prof.String(),
+	}
+	if t.attachErr != nil {
+		k.Err = t.attachErr.Error()
+		return k
+	}
+	stats := t.store.Log(warehouseName).Stats(t.start, now)
+	k.Queries = stats.Queries
+	k.P99Latency = stats.P99Latency
+	if wh, err := t.acct.Warehouse(warehouseName); err == nil {
+		k.ActualCredits = wh.Meter().CreditsBetween(t.attachAt, now, now)
+	}
+	if actual, without, err := t.eng.EstimateSavings(warehouseName, t.attachAt, now); err == nil {
+		k.ModelReady = true
+		k.ActualCredits = actual
+		k.WithoutKeebo = without
+		if s := without - actual; s > 0 {
+			k.Savings = s
+		}
+		if without > 0 {
+			k.SavingsPercent = 100 * k.Savings / without
+		}
+	}
+	if h, err := t.eng.Health(warehouseName); err == nil {
+		k.Degraded = h.Degraded
+		k.DegradedTicks = h.DegradedTicks
+		k.Recoveries = h.Recoveries
+	}
+	k.ActionsApplied = t.eng.Actuator().AppliedCount()
+	k.Invoices = len(t.eng.Ledger().Invoices())
+	k.Faults = t.acct.FaultCounts()
+	k.ObsEvents = t.hub.Bus.Total()
+	k.EventsFingerprint = t.events.Sum()
+	if snap, err := t.store.SnapshotBytes(); err == nil {
+		sum := sha256.Sum256(snap)
+		k.SnapshotFingerprint = hex.EncodeToString(sum[:])
+	}
+	return k
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LabeledRegistry pairs a registry with the label value distinguishing
+// it in a merged exposition — for the fleet runner, the tenant id.
+type LabeledRegistry struct {
+	// Label is the label VALUE attached to every sample of this
+	// registry (the label name is WriteMergedPrometheus's argument).
+	Label    string
+	Registry *Registry
+}
+
+// WriteMergedPrometheus renders several registries as one Prometheus
+// text exposition, prepending labelName="<Label>" to every sample so
+// per-source series stay distinct. Each family's HELP/TYPE header is
+// written once; series appear grouped by source in the order given
+// (sources should be passed in a stable order — tenant index order in
+// the fleet — so output is deterministic for deterministic inputs).
+//
+// Registries sharing a family name must agree on its type and label
+// set; a mismatch is an error, because merging it would produce an
+// exposition no strict parser accepts.
+func WriteMergedPrometheus(w io.Writer, labelName string, regs []LabeledRegistry) error {
+	type meta struct {
+		help   string
+		typ    MetricType
+		labels int
+	}
+	metas := make(map[string]meta)
+	names := make([]string, 0)
+	for _, lr := range regs {
+		r := lr.Registry
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		for n, f := range r.families {
+			m, ok := metas[n]
+			if !ok {
+				metas[n] = meta{help: f.help, typ: f.typ, labels: len(f.labels)}
+				names = append(names, n)
+				continue
+			}
+			if m.typ != f.typ || m.labels != len(f.labels) {
+				r.mu.Unlock()
+				return fmt.Errorf("obs: family %q disagrees across registries (type %v/%v, labels %d/%d)",
+					n, m.typ, f.typ, m.labels, len(f.labels))
+			}
+		}
+		r.mu.Unlock()
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		m := metas[n]
+		fmt.Fprintf(&b, "# HELP %s %s\n", n, escapeHelp(m.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", n, m.typ)
+		for _, lr := range regs {
+			r := lr.Registry
+			if r == nil {
+				continue
+			}
+			r.mu.Lock()
+			if f, ok := r.families[n]; ok {
+				writeFamilySeries(&b, f, labelName, lr.Label)
+			}
+			r.mu.Unlock()
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

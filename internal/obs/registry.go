@@ -373,30 +373,47 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f := r.families[n]
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
-		keys := append([]string(nil), f.order...)
-		sort.Strings(keys)
-		for _, k := range keys {
-			s := f.series[k]
-			switch f.typ {
-			case TypeHistogram:
-				var cum uint64
-				for i, ub := range f.buckets {
-					cum += s.counts[i]
-					fmt.Fprintf(&b, "%s_bucket{%s} %d\n", f.name,
-						labelPairs(f.labels, s.labelValues, "le", formatFloat(ub)), cum)
-				}
-				cum += s.counts[len(f.buckets)]
-				fmt.Fprintf(&b, "%s_bucket{%s} %d\n", f.name,
-					labelPairs(f.labels, s.labelValues, "le", "+Inf"), cum)
-				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelBlock(f.labels, s.labelValues), formatFloat(s.sum))
-				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelBlock(f.labels, s.labelValues), s.count)
-			default:
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelBlock(f.labels, s.labelValues), formatFloat(s.val))
-			}
-		}
+		writeFamilySeries(&b, f, "", "")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeFamilySeries renders every series of f in sorted key order.
+// When extraName is non-empty, the pair extraName="extraValue" is
+// prepended to every sample's label set — the merged multi-tenant
+// exposition uses it to keep per-tenant series apart. The caller must
+// hold the owning registry's lock.
+func writeFamilySeries(b *strings.Builder, f *family, extraName, extraValue string) {
+	names := f.labels
+	if extraName != "" {
+		names = append([]string{extraName}, f.labels...)
+	}
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := f.series[k]
+		values := s.labelValues
+		if extraName != "" {
+			values = append([]string{extraValue}, s.labelValues...)
+		}
+		switch f.typ {
+		case TypeHistogram:
+			var cum uint64
+			for i, ub := range f.buckets {
+				cum += s.counts[i]
+				fmt.Fprintf(b, "%s_bucket{%s} %d\n", f.name,
+					labelPairs(names, values, "le", formatFloat(ub)), cum)
+			}
+			cum += s.counts[len(f.buckets)]
+			fmt.Fprintf(b, "%s_bucket{%s} %d\n", f.name,
+				labelPairs(names, values, "le", "+Inf"), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelBlock(names, values), formatFloat(s.sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelBlock(names, values), s.count)
+		default:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelBlock(names, values), formatFloat(s.val))
+		}
+	}
 }
 
 func formatFloat(v float64) string {
