@@ -10,7 +10,7 @@
 // Usage:
 //
 //	kwo-bench                  # run everything
-//	kwo-bench -fig 4a          # one experiment: 4a 4b 5 6 7 onboarding band ablations
+//	kwo-bench -fig 4a          # one experiment: 4a 4b 5 6 7 onboarding band fleet ablations
 //	kwo-bench -seed 7 -csv     # different seed; machine-readable rows
 //	kwo-bench -parallel 1      # disable parallelism
 //	kwo-bench -bench BENCH_dev.json -rev dev
@@ -29,10 +29,11 @@ import (
 
 	"kwo/internal/benchio"
 	"kwo/internal/experiments"
+	"kwo/internal/fleet"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 4a, 4b, 5, 6, 7, onboarding, band, ablations, all")
+	fig := flag.String("fig", "all", "experiment to run: 4a, 4b, 5, 6, 7, onboarding, band, fleet, ablations, all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of tables")
 	parallel := flag.Int("parallel", 0, "max concurrent workers for experiment fan-out (0 = one per CPU, 1 = sequential)")
@@ -106,6 +107,37 @@ func main() {
 			}
 			return result{render(r, r.CSV), m}
 		}},
+		{"fleet", func() result {
+			// The fleet hot path: 64 tenants × 24 hourly epochs through
+			// the persistent worker pool, lazily provisioned. The wall
+			// time recorded for this row is the committed BENCH artifact's
+			// fleet throughput number.
+			f, err := fleet.New(fleet.Config{
+				Tenants:   64,
+				Seed:      *seed,
+				Epochs:    24,
+				FaultRate: 0.2,
+			})
+			if err != nil {
+				return result{out: fmt.Sprintf("fleet: %v\n", err)}
+			}
+			defer f.Close()
+			rep, err := f.Run()
+			if err != nil {
+				return result{out: fmt.Sprintf("fleet: %v\n", err)}
+			}
+			csvOut := func() string {
+				var b strings.Builder
+				rep.WriteCSV(&b)
+				return b.String()
+			}
+			return result{render(rep, csvOut), map[string]float64{
+				"fleet_tenants":          float64(rep.Tenants),
+				"fleet_epochs":           float64(rep.Epochs),
+				"fleet_savings_pct":      rep.SavingsPercent,
+				"fleet_degraded_tenants": float64(rep.DegradedTenants),
+			}}
+		}},
 		{"ablations", func() result {
 			var b strings.Builder
 			cm := experiments.AblationCostModel(*seed)
@@ -127,7 +159,7 @@ func main() {
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use 4a, 4b, 5, 6, 7, onboarding, band, ablations, all\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use 4a, 4b, 5, 6, 7, onboarding, band, fleet, ablations, all\n", *fig)
 		os.Exit(2)
 	}
 

@@ -11,6 +11,7 @@
 //	kwo-fleet -obs-addr 127.0.0.1:9090 -obs-hold 30s
 //	kwo-fleet -tenant 12 -seed 7            # replay tenant 12 standalone
 //	kwo-fleet -tenant-seed 4242424242       # replay by derived seed
+//	kwo-fleet -tenants 256 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -40,7 +43,40 @@ func main() {
 	obsHold := flag.Duration("obs-hold", 0, "keep the process alive this long after the run (requires -obs-addr)")
 	tenantIdx := flag.Int("tenant", -1, "replay this tenant index standalone instead of running the fleet")
 	tenantSeed := flag.String("tenant-seed", "", "replay the tenant holding this derived seed standalone")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go test convention)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
+
+	// Profiles follow the go-test flag conventions so the output feeds
+	// straight into `go tool pprof`. The CPU profile brackets the whole
+	// run (provisioning + epochs + rollup); the heap profile is taken
+	// after a final GC so it shows live memory, not garbage.
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("kwo-fleet: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatalf("kwo-fleet: start CPU profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			mf, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("kwo-fleet: -memprofile: %v", err)
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				log.Fatalf("kwo-fleet: write heap profile: %v", err)
+			}
+		}()
+	}
 
 	cfg := kwo.FleetConfig{
 		Tenants:     *tenants,
@@ -84,6 +120,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer f.Close()
 	// The ops endpoint serves the merged view live while the fleet runs;
 	// its notes go to stderr so stdout stays byte-deterministic.
 	if *obsAddr != "" {

@@ -42,6 +42,10 @@ func (f *Fleet) Run() (*FleetReport, error) { return f.f.Run() }
 // RunEpoch advances every tenant exactly one epoch.
 func (f *Fleet) RunEpoch() error { return f.f.RunEpoch() }
 
+// Close releases the fleet's persistent worker-pool goroutines.
+// Idempotent; the fleet stays usable afterwards (work runs inline).
+func (f *Fleet) Close() { f.f.Close() }
+
 // Epoch returns how many epochs have completed.
 func (f *Fleet) Epoch() int { return f.f.Epoch() }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression tests skip under -race because instrumentation
+// changes allocation accounting.
+const raceEnabled = true

@@ -62,6 +62,16 @@ type Config struct {
 	// Params are the simulated CDW physical constants; the zero value
 	// means cdw.DefaultSimParams().
 	Params cdw.SimParams
+
+	// respawnPool reverts fan-out to experiments.RunIndexedN — a fresh
+	// set of goroutines per epoch instead of the fleet's persistent
+	// pool. Unexported: only the in-package *Naive* benchmarks set it,
+	// to measure what the persistent pool buys.
+	respawnPool bool
+	// eagerProvision reverts workload provisioning to one whole-horizon
+	// Generate+Drive per tenant at New time, instead of lazy per-epoch
+	// cursor chunks. Unexported, benchmark-only, as above.
+	eagerProvision bool
 }
 
 // withDefaults returns the config with defaults applied, or an error
@@ -115,32 +125,60 @@ func (c Config) withDefaults() (Config, error) {
 type Fleet struct {
 	cfg     Config
 	tenants []*tenant
+	pool    *experiments.Pool
 	start   time.Time
 	epoch   int
 	done    bool
 }
 
 // New provisions a fleet: Tenants independent simulation stacks, each
-// seeded from TenantSeed(Seed, i), with workloads scheduled over the
-// whole epoch horizon and optimizer attach armed at the attach epoch.
+// seeded from TenantSeed(Seed, i), with the optimizer attach armed at
+// the attach epoch. Workload arrivals are provisioned lazily, one epoch
+// chunk at a time, so a fleet's resident arrival backlog is O(epoch)
+// per tenant rather than O(horizon) — the query sequence is identical
+// either way (workload.Cursor's contract).
+//
+// The fleet owns a persistent worker pool sized by Workers; every
+// fan-out (provisioning, epochs, finalize, KPI rollup) reuses its
+// goroutines. Call Close when done with the fleet to release them — a
+// closed fleet still works, falling back to inline execution.
 func New(cfg Config) (*Fleet, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{cfg: cfg}
+	f := &Fleet{cfg: cfg, pool: experiments.NewPool(cfg.Workers)}
 	ids := tenantIDs(cfg.Tenants)
 	f.tenants = make([]*tenant, cfg.Tenants)
 	// Provisioning fans out through the same bounded pool as epochs:
-	// generating 64 tenants' month-scale arrival streams is the most
-	// expensive single step of a short run.
-	experiments.RunIndexedN(cfg.Tenants, cfg.Workers, func(i int) struct{} {
+	// building 64 tenants' engines and first-epoch arrival chunks is
+	// the most expensive single step of a short run.
+	f.fanout(cfg.Tenants, func(i int) {
 		f.tenants[i] = newTenant(i, ids[i], TenantSeed(cfg.Seed, i), cfg)
-		return struct{}{}
 	})
 	f.start = f.tenants[0].start
 	return f, nil
 }
+
+// fanout runs fn(i) for i in [0, n) across the fleet's persistent
+// worker pool (or, under the benchmark-only respawnPool knob, a fresh
+// RunIndexedN spawn). Tenants are independent, so any schedule is
+// correct; results land by index, so output never depends on timing.
+func (f *Fleet) fanout(n int, fn func(i int)) {
+	if f.cfg.respawnPool {
+		experiments.RunIndexedN(n, f.cfg.Workers, func(i int) struct{} {
+			fn(i)
+			return struct{}{}
+		})
+		return
+	}
+	f.pool.Run(n, fn)
+}
+
+// Close releases the fleet's worker pool goroutines. Idempotent; the
+// fleet remains usable afterwards (fan-outs run inline), so an ops
+// handler holding the fleet for /metrics scrapes stays safe.
+func (f *Fleet) Close() { f.pool.Close() }
 
 // tenantIDs returns zero-padded stable tenant labels: t00 … t63.
 func tenantIDs(n int) []string {
@@ -176,9 +214,8 @@ func (f *Fleet) RunEpoch() error {
 		return fmt.Errorf("fleet: all %d epochs already run", f.cfg.Epochs)
 	}
 	target := f.start.Add(time.Duration(f.epoch+1) * f.cfg.EpochLen)
-	experiments.RunIndexedN(len(f.tenants), f.cfg.Workers, func(i int) struct{} {
+	f.fanout(len(f.tenants), func(i int) {
 		f.tenants[i].advanceTo(target)
-		return struct{}{}
 	})
 	f.epoch++
 	for _, t := range f.tenants {
@@ -201,20 +238,22 @@ func (f *Fleet) Run() (*Report, error) {
 	}
 	if !f.done {
 		f.done = true
-		experiments.RunIndexedN(len(f.tenants), f.cfg.Workers, func(i int) struct{} {
+		f.fanout(len(f.tenants), func(i int) {
 			f.tenants[i].finalize()
-			return struct{}{}
 		})
 	}
 	return f.report(), nil
 }
 
-// report rolls up per-tenant KPIs (computed in the pool — savings
-// estimation replays cost models) into the fleet view, sequentially and
-// in index order so the rollup is deterministic.
+// report rolls up per-tenant KPIs into the fleet view. KPI computation
+// fans out through the worker pool — savings estimation replays cost
+// models, the expensive part — with each row landing at its tenant's
+// index, so the rollup input is in index order and the report is
+// deterministic regardless of which worker finished when.
 func (f *Fleet) report() *Report {
-	kpis := experiments.RunIndexedN(len(f.tenants), f.cfg.Workers, func(i int) TenantKPI {
-		return f.tenants[i].kpi()
+	kpis := make([]TenantKPI, len(f.tenants))
+	f.fanout(len(f.tenants), func(i int) {
+		kpis[i] = f.tenants[i].kpi()
 	})
 	return rollup(f.cfg, kpis)
 }

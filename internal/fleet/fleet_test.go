@@ -42,6 +42,7 @@ func runFleet(t *testing.T, cfg Config) *Report {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
+	defer f.Close()
 	rep, err := f.Run()
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -160,6 +161,7 @@ func TestEpochBarrier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	start := f.Now()
 	for e := 0; e < cfg.Epochs; e++ {
 		if err := f.RunEpoch(); err != nil {
@@ -189,6 +191,7 @@ func TestMergedMetricsParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	if _, err := f.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -256,8 +259,103 @@ func TestTenantIDs(t *testing.T) {
 	if ids[0] != "t00" || ids[63] != "t63" {
 		t.Errorf("tenantIDs(64) = %v … %v", ids[0], ids[63])
 	}
-	ids = tenantIDs(101)
-	if ids[0] != "t000" || ids[100] != "t100" {
-		t.Errorf("tenantIDs(101) = %v … %v", ids[0], ids[100])
+	// Width boundaries: n=100 still fits two digits (last id t99);
+	// n=101 is the first fleet needing three, n=1001 the first needing
+	// four. An off-by-one here would shuffle every tenant label — and
+	// with it the merged-metrics series names — between fleet sizes.
+	for _, tc := range []struct {
+		n           int
+		first, last string
+	}{
+		{99, "t00", "t98"},
+		{100, "t00", "t99"},
+		{101, "t000", "t100"},
+		{1000, "t000", "t999"},
+		{1001, "t0000", "t1000"},
+	} {
+		ids := tenantIDs(tc.n)
+		if ids[0] != tc.first || ids[tc.n-1] != tc.last {
+			t.Errorf("tenantIDs(%d) = %v … %v, want %v … %v",
+				tc.n, ids[0], ids[tc.n-1], tc.first, tc.last)
+		}
+		if len(ids[0]) != len(ids[tc.n-1]) {
+			t.Errorf("tenantIDs(%d) width not uniform: %v vs %v", tc.n, ids[0], ids[tc.n-1])
+		}
+	}
+}
+
+// TestEpochBarrierAtScale is the 1024-tenant smoke: a fleet two orders
+// of magnitude wider than the determinism suite still lands every
+// tenant exactly on each epoch boundary, and workers=1 vs workers=16
+// produce identical rollup fingerprints. The horizon is kept tiny (two
+// 15-minute epochs, attach at 1) so the test is about fan-out scale,
+// not simulation depth.
+func TestEpochBarrierAtScale(t *testing.T) {
+	tenants := 1024
+	if testing.Short() || raceEnabled {
+		// Provisioning 1024 engines under the race detector blows the
+		// test budget; 128 still exercises multi-round pool fan-out.
+		tenants = 128
+	}
+	cfg := Config{
+		Tenants:     tenants,
+		Seed:        11,
+		Epochs:      2,
+		EpochLen:    15 * time.Minute,
+		AttachEpoch: 1,
+		Opts:        lightOpts(),
+	}
+	var baseFP string
+	for _, w := range []int{1, 16} {
+		cfg.Workers = w
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d New: %v", w, err)
+		}
+		rep, err := f.Run()
+		f.Close()
+		if err != nil {
+			t.Fatalf("workers=%d Run: %v", w, err)
+		}
+		if len(rep.PerTenant) != tenants {
+			t.Fatalf("workers=%d rollup has %d tenants, want %d", w, len(rep.PerTenant), tenants)
+		}
+		if w == 1 {
+			baseFP = rep.Fingerprint()
+		} else if fp := rep.Fingerprint(); fp != baseFP {
+			t.Fatalf("workers=%d fingerprint %s != workers=1 %s at %d tenants", w, fp, baseFP, tenants)
+		}
+	}
+}
+
+// TestFleetUsableAfterClose: Close releases the pool but the fleet must
+// keep working inline — the ops handler may still drive scrapes and
+// late report calls.
+func TestFleetUsableAfterClose(t *testing.T) {
+	cfg := testConfig(4, 4)
+	cfg.Epochs = 3
+	cfg.AttachEpoch = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close() // idempotent
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run after Close: %v", err)
+	}
+	open, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer open.Close()
+	rep2, err := open.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fingerprint() != rep2.Fingerprint() {
+		t.Errorf("closed-pool (inline) run fingerprint %s != pooled run %s",
+			rep.Fingerprint(), rep2.Fingerprint())
 	}
 }

@@ -170,15 +170,17 @@ type tenant struct {
 	eng    *core.Engine
 	events *eventHasher
 
-	start     time.Time
-	attachAt  time.Time
-	scheduled int
-	attachErr error
+	start      time.Time
+	attachAt   time.Time
+	horizonEnd time.Time
+	cursor     workload.Cursor // nil once the stream is exhausted (or when eager)
+	scheduled  int
+	attachErr  error
 }
 
 // newTenant provisions one tenant: derive its profile and fault plan,
-// create its warehouse, schedule its whole workload horizon, and arm
-// the optimizer attach at the attach epoch.
+// create its warehouse, open its lazily-chunked workload stream, and
+// arm the optimizer attach at the attach epoch.
 func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 	t := &tenant{idx: idx, id: id, seed: seed}
 	t.sched = simclock.NewScheduler(seed)
@@ -219,9 +221,22 @@ func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 		return t
 	}
 
+	// The workload stream is pulled chunk-by-chunk from a cursor as
+	// epochs advance (see provisionTo) instead of materializing the
+	// whole horizon here: resident arrivals stay O(epoch) per tenant.
+	// The cursor consumes the identical seeded RNG stream a
+	// whole-horizon Generate call would, so the query sequence — and
+	// every downstream fingerprint — is unchanged (the eagerProvision
+	// knob keeps the old path alive for benchmarks to prove it).
 	gen := t.prof.generator()
-	arr := gen.Generate(t.start, t.start.Add(horizon), t.sched.Rand("fleet:workload:"+gen.Name()))
-	t.scheduled, _ = workload.Drive(t.sched, t.acct, warehouseName, arr)
+	t.horizonEnd = t.start.Add(horizon)
+	wrng := t.sched.Rand("fleet:workload:" + gen.Name())
+	if cfg.eagerProvision {
+		arr := gen.Generate(t.start, t.horizonEnd, wrng)
+		t.scheduled, _ = workload.Drive(t.sched, t.acct, warehouseName, arr)
+	} else {
+		t.cursor = workload.NewCursor(gen, t.start, t.horizonEnd, wrng)
+	}
 
 	opts := cfg.Opts
 	opts.Obs = t.hub
@@ -237,8 +252,31 @@ func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 	return t
 }
 
-// advanceTo runs the tenant's simulation up to the epoch boundary.
-func (t *tenant) advanceTo(target time.Time) { t.sched.RunUntil(target) }
+// advanceTo provisions the next workload chunk and runs the tenant's
+// simulation up to the epoch boundary.
+func (t *tenant) advanceTo(target time.Time) {
+	t.provisionTo(target)
+	t.sched.RunUntil(target)
+}
+
+// provisionTo schedules the arrival chunk [now, target) from the
+// tenant's workload cursor. Every arrival in the chunk is at or after
+// the tenant's current time (the cursor's chunk-containment contract),
+// so nothing is dropped; on the final epoch the cursor also flushes
+// jitter overflow past the horizon, keeping the scheduled count equal
+// to the eager path's (those trailing events are scheduled but never
+// run, exactly as before).
+func (t *tenant) provisionTo(target time.Time) {
+	if t.cursor == nil {
+		return
+	}
+	arr := t.cursor.Next(target)
+	n, _ := workload.Drive(t.sched, t.acct, warehouseName, arr)
+	t.scheduled += n
+	if !target.Before(t.horizonEnd) {
+		t.cursor = nil
+	}
+}
 
 // finalize stops the optimizer loops after the last epoch.
 func (t *tenant) finalize() {

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"kwo/internal/simclock"
+)
+
+// streamGenerators returns the generator shapes the fleet provisions
+// (plus the non-Streamer fallbacks), parameterized like fleet tenants.
+func streamGenerators() map[string]Generator {
+	bi, etl, adhoc := StandardPools()
+	return map[string]Generator{
+		"etl": ETL{Pool: etl, Period: time.Hour, Offset: 5 * time.Minute,
+			JobsPerBatch: 3, Jitter: 2 * time.Minute},
+		"etl-jitter-overflow": ETL{Pool: etl, Period: 30 * time.Minute, Offset: 25 * time.Minute,
+			JobsPerBatch: 2, Jitter: 20 * time.Minute}, // jitter crosses chunk and horizon ends
+		"bi": BI{Pool: bi, PeakQPH: 18, WeekendFactor: 0.2},
+		"adhoc": AdHoc{Pool: adhoc, BaseQPH: 9, DayVariance: 0.7,
+			BurstsPerDay: 2, BurstQPH: 90, BurstLen: 15 * time.Minute, MonthEndFactor: 2},
+		"mixed": Mixed{Parts: []Generator{
+			BI{Pool: bi, PeakQPH: 12, WeekendFactor: 0.2},
+			ETL{Pool: etl, Period: 2 * time.Hour, Offset: 5 * time.Minute,
+				JobsPerBatch: 2, Jitter: 2 * time.Minute},
+		}},
+		"spike-fallback": Spike{Pool: bi, At: simclock.Epoch.Add(26 * time.Hour),
+			Count: 40, Over: 3 * time.Minute},
+	}
+}
+
+// TestCursorMatchesGenerate is the lazy-provisioning contract: pulling
+// a generator's stream chunk by chunk — epoch-aligned or ragged —
+// yields element-for-element the same arrivals as one whole-horizon
+// Generate call on the same seed. The fleet's unchanged fingerprints
+// rest on this property.
+func TestCursorMatchesGenerate(t *testing.T) {
+	from := simclock.Epoch
+	horizons := []time.Duration{36 * time.Hour, 72 * time.Hour}
+	chunkPlans := map[string]func(rng *rand.Rand, to time.Time) []time.Time{
+		"hourly-epochs": func(_ *rand.Rand, to time.Time) []time.Time {
+			var cuts []time.Time
+			for c := from.Add(time.Hour); c.Before(to) || c.Equal(to); c = c.Add(time.Hour) {
+				cuts = append(cuts, c)
+			}
+			return cuts
+		},
+		"ragged": func(rng *rand.Rand, to time.Time) []time.Time {
+			var cuts []time.Time
+			c := from
+			for {
+				c = c.Add(time.Duration(rng.Int63n(int64(7 * time.Hour))))
+				if !c.Before(to) {
+					break
+				}
+				cuts = append(cuts, c)
+			}
+			return append(cuts, to.Add(time.Hour)) // final call past the horizon
+		},
+	}
+	for name, gen := range streamGenerators() {
+		for _, horizon := range horizons {
+			to := from.Add(horizon)
+			for planName, plan := range chunkPlans {
+				for seed := int64(1); seed <= 5; seed++ {
+					whole := gen.Generate(from, to, rand.New(rand.NewSource(seed)))
+					cur := NewCursor(gen, from, to, rand.New(rand.NewSource(seed)))
+					cuts := plan(rand.New(rand.NewSource(seed*31)), to)
+					if len(cuts) == 0 || cuts[len(cuts)-1].Before(to) {
+						cuts = append(cuts, to)
+					}
+					var chunked []Arrival
+					prev := from
+					for _, c := range cuts {
+						chunk := cur.Next(c)
+						for _, a := range chunk {
+							if a.At.Before(prev) {
+								t.Errorf("%s/%s seed %d: chunk [%v,%v) emitted arrival at %v before chunk start",
+									name, planName, seed, prev, c, a.At)
+							}
+							if !c.Before(to) {
+								continue // final chunk may flush past-horizon jitter overflow
+							}
+							if !a.At.Before(c) {
+								t.Errorf("%s/%s seed %d: chunk ending %v emitted arrival at %v",
+									name, planName, seed, c, a.At)
+							}
+						}
+						chunked = append(chunked, chunk...)
+						prev = c
+					}
+					if len(chunked) != len(whole) {
+						t.Fatalf("%s/%s horizon %v seed %d: chunked %d arrivals, whole %d",
+							name, planName, horizon, seed, len(chunked), len(whole))
+					}
+					for i := range whole {
+						if !reflect.DeepEqual(chunked[i], whole[i]) {
+							t.Fatalf("%s/%s horizon %v seed %d: arrival %d differs:\nchunked: %+v\nwhole:   %+v",
+								name, planName, horizon, seed, i, chunked[i], whole[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCursorJitterOverflowFlushed pins the horizon-end contract: an ETL
+// batch whose pre-jitter time is inside the horizon but whose jitter
+// lands past it appears in whole-horizon Generate output, so the final
+// Next call must flush it rather than drop it.
+func TestCursorJitterOverflowFlushed(t *testing.T) {
+	_, etl, _ := StandardPools()
+	gen := ETL{Pool: etl, Period: time.Hour, Offset: 55 * time.Minute,
+		JobsPerBatch: 4, Jitter: 30 * time.Minute}
+	from := simclock.Epoch
+	to := from.Add(24 * time.Hour)
+	var overflow bool
+	for seed := int64(1); seed <= 20 && !overflow; seed++ {
+		whole := gen.Generate(from, to, rand.New(rand.NewSource(seed)))
+		for _, a := range whole {
+			if !a.At.Before(to) {
+				overflow = true
+			}
+		}
+		cur := NewCursor(gen, from, to, rand.New(rand.NewSource(seed)))
+		var chunked []Arrival
+		for c := from.Add(6 * time.Hour); ; c = c.Add(6 * time.Hour) {
+			chunked = append(chunked, cur.Next(c)...)
+			if !c.Before(to) {
+				break
+			}
+		}
+		if !reflect.DeepEqual(chunked, whole) {
+			t.Fatalf("seed %d: chunked (%d) != whole (%d) with overflow jitter", seed, len(chunked), len(whole))
+		}
+	}
+	if !overflow {
+		t.Fatal("test shape never produced a past-horizon arrival; tighten parameters")
+	}
+}
+
+// TestCursorEmptyChunks: a cursor asked for many boundaries inside a
+// silent stretch returns empty chunks without disturbing the stream.
+func TestCursorEmptyChunks(t *testing.T) {
+	bi, _, _ := StandardPools()
+	gen := BI{Pool: bi, PeakQPH: 10, WeekendFactor: 0} // weekends silent
+	from := simclock.Epoch.Add(4 * 24 * time.Hour)     // Friday
+	to := from.Add(4 * 24 * time.Hour)                 // spans the silent weekend
+	whole := gen.Generate(from, to, rand.New(rand.NewSource(9)))
+	cur := NewCursor(gen, from, to, rand.New(rand.NewSource(9)))
+	var chunked []Arrival
+	for c := from.Add(10 * time.Minute); c.Before(to); c = c.Add(10 * time.Minute) {
+		chunked = append(chunked, cur.Next(c)...)
+	}
+	chunked = append(chunked, cur.Next(to)...)
+	if !reflect.DeepEqual(chunked, whole) {
+		t.Fatalf("10-minute chunking diverged: %d vs %d arrivals", len(chunked), len(whole))
+	}
+}
