@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"kwo"
@@ -37,6 +38,7 @@ func main() {
 	epochLen := flag.Duration("epoch-len", time.Hour, "simulated length of one epoch")
 	attachEpoch := flag.Int("attach-epoch", 0, "epoch at which optimizers attach (0 = epochs/4)")
 	faultRate := flag.Float64("fault-rate", 0, "probability a tenant lives behind an unreliable control-plane API")
+	backends := flag.String("backends", "", "comma-separated CDW backend pool tenants draw from (snowflake, bigquery, redshift); empty = all snowflake")
 	topK := flag.Int("top", 5, "how many regressed tenants the rollup highlights")
 	format := flag.String("format", "text", "rollup output: text, csv, json")
 	obsAddr := flag.String("obs-addr", "", "serve the fleet ops endpoint (merged /metrics, /events) on this address")
@@ -87,6 +89,18 @@ func main() {
 		AttachEpoch: *attachEpoch,
 		FaultRate:   *faultRate,
 		TopK:        *topK,
+	}
+	if *backends != "" {
+		for _, name := range strings.Split(*backends, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := kwo.BackendByName(name); err != nil {
+				log.Fatalf("kwo-fleet: -backends: %v", err)
+			}
+			cfg.Backends = append(cfg.Backends, name)
+		}
 	}
 
 	// Replay mode: run one tenant standalone under the seed it holds (or

@@ -31,6 +31,7 @@ func main() {
 	suspend := flag.Duration("suspend", 10*time.Minute, "initial auto-suspend interval")
 	maxClusters := flag.Int("max-clusters", 2, "multi-cluster maximum")
 	qph := flag.Float64("qph", 60, "workload intensity (peak or base queries/hour)")
+	backendName := flag.String("backend", "", "CDW backend: snowflake (default), bigquery, redshift")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	tracePath := flag.String("trace", "", "replay a kwo-trace file instead of generating a workload")
 	faultAlterRate := flag.Float64("fault-alter-rate", 0, "probability an ALTER fails before applying (0 disables)")
@@ -62,7 +63,31 @@ func main() {
 		log.Fatalf("unknown workload %q (bi, etl, adhoc, mixed)", *workloadName)
 	}
 
-	sim := kwo.NewSimulation(*seed)
+	bk, err := kwo.BackendByName(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := kwo.NewSimulationWithBackend(*seed, kwo.DefaultSimParams(), bk)
+	// Clamp flag-driven knobs the chosen backend has no concept of —
+	// creating the warehouse with them would be rejected outright. Each
+	// clamp is noted on stderr; stdout stays byte-deterministic for the
+	// default backend.
+	if !bk.Has(kwo.CapMultiCluster) && *maxClusters > 1 {
+		fmt.Fprintf(os.Stderr, "[backend %s has no multi-cluster scaling; max-clusters 1]\n", bk.Name())
+		*maxClusters = 1
+	}
+	if !bk.Has(kwo.CapAutoSuspend) && *suspend > 0 {
+		fmt.Fprintf(os.Stderr, "[backend %s has no auto-suspend; suspend disabled]\n", bk.Name())
+		*suspend = 0
+	}
+	autoResume := true
+	if !bk.Has(kwo.CapAutoResume) {
+		fmt.Fprintf(os.Stderr, "[backend %s has no auto-resume]\n", bk.Name())
+		autoResume = false
+	}
+	if *backendName != "" && *backendName != "snowflake" {
+		fmt.Printf("backend: %s\n", bk.Name())
+	}
 	faultsOn := *faultAlterRate > 0 || *faultTimeoutRate > 0 || *faultBillingLag > 0
 	if faultsOn {
 		sim.InjectFaults(kwo.FaultPlan{
@@ -88,7 +113,7 @@ func main() {
 	}
 	wh, err := sim.CreateWarehouse(kwo.WarehouseConfig{
 		Name: "MAIN_WH", Size: size, MinClusters: 1, MaxClusters: *maxClusters,
-		Policy: kwo.ScaleStandard, AutoSuspend: *suspend, AutoResume: true,
+		Policy: kwo.ScaleStandard, AutoSuspend: *suspend, AutoResume: autoResume,
 	})
 	if err != nil {
 		log.Fatal(err)

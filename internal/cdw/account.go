@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"kwo/internal/cdw/backend"
 	"kwo/internal/obs"
 	"kwo/internal/simclock"
 )
@@ -70,6 +71,7 @@ type Listener interface {
 type Account struct {
 	sched       *simclock.Scheduler
 	params      SimParams
+	backend     backend.Backend
 	warehouses  map[string]*Warehouse
 	names       []string // insertion order, for deterministic iteration
 	listeners   []Listener
@@ -97,11 +99,23 @@ type OverheadRecord struct {
 	Note    string
 }
 
-// NewAccount creates an account driven by the given scheduler.
+// NewAccount creates an account driven by the given scheduler, running
+// against the default (Snowflake-shaped) backend.
 func NewAccount(sched *simclock.Scheduler, params SimParams) *Account {
+	return NewAccountWithBackend(sched, params, DefaultBackend())
+}
+
+// NewAccountWithBackend creates an account whose control-plane surface
+// — billing quanta, resume latency, capability gating — is defined by
+// the given backend. A nil backend falls back to the default.
+func NewAccountWithBackend(sched *simclock.Scheduler, params SimParams, b backend.Backend) *Account {
+	if b == nil {
+		b = DefaultBackend()
+	}
 	return &Account{
 		sched:      sched,
 		params:     params,
+		backend:    b,
 		warehouses: make(map[string]*Warehouse),
 	}
 }
@@ -111,6 +125,9 @@ func (a *Account) Scheduler() *simclock.Scheduler { return a.sched }
 
 // Params returns the account's physical constants.
 func (a *Account) Params() SimParams { return a.params }
+
+// Backend returns the account's control-plane backend.
+func (a *Account) Backend() backend.Backend { return a.backend }
 
 // Subscribe registers a telemetry listener.
 func (a *Account) Subscribe(l Listener) { a.listeners = append(a.listeners, l) }
@@ -155,6 +172,9 @@ func (a *Account) FaultCounts() FaultCounts { return a.faultCounts }
 // created warehouse starts running (and will auto-suspend if idle).
 func (a *Account) CreateWarehouse(cfg Config) (*Warehouse, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkConfigCapabilities(a.backend, cfg); err != nil {
 		return nil, err
 	}
 	if _, ok := a.warehouses[cfg.Name]; ok {
@@ -217,6 +237,9 @@ func (a *Account) Alter(warehouse string, alt Alteration, actor string) error {
 			return &TransientError{Op: "alter", Reason: reason}
 		}
 		ackLost = lost
+	}
+	if err := checkAlterationCapabilities(a.backend, w.cfg, alt); err != nil {
+		return err
 	}
 	before := w.cfg
 	if err := w.applyAlteration(alt); err != nil {

@@ -1,0 +1,49 @@
+// Package bigquery is a BigQuery-shaped backend: slot-reservation style
+// capacity billed per second with no minimum, noticeably slower
+// capacity provisioning than Snowflake, and no multi-cluster
+// auto-scale (one reservation serves the warehouse). Auto-suspend and
+// auto-resume exist (flex-slot style), so idle capacity can still be
+// released automatically.
+package bigquery
+
+import (
+	"time"
+
+	"kwo/internal/cdw/backend"
+)
+
+// provisionFactor stretches the base resume/scale-out delays: acquiring
+// slot capacity is much slower than waking a Snowflake warehouse.
+const provisionFactor = 10
+
+// Backend implements backend.Backend with BigQuery-shaped semantics.
+type Backend struct{}
+
+// New returns the BigQuery-shaped backend.
+func New() Backend { return Backend{} }
+
+// Name implements backend.Backend.
+func (Backend) Name() string { return "bigquery" }
+
+// Has implements backend.Backend: everything except multi-cluster
+// scale-out.
+func (Backend) Has(c backend.Capability) bool {
+	return c&backend.CapMultiCluster == 0
+}
+
+// Billing implements backend.Backend: exact per-second billing, no
+// minimum and no quantum.
+func (Backend) Billing() backend.BillingRule { return backend.BillingRule{} }
+
+// ResumeDelay implements backend.Backend: slow capacity acquisition.
+func (Backend) ResumeDelay(base time.Duration) time.Duration {
+	return base * provisionFactor
+}
+
+// ClusterStartDelay implements backend.Backend: same slow provisioning.
+func (Backend) ClusterStartDelay(base time.Duration) time.Duration {
+	return base * provisionFactor
+}
+
+// MeteringGranularity implements backend.Backend: hourly usage export.
+func (Backend) MeteringGranularity() time.Duration { return time.Hour }

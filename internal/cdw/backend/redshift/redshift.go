@@ -1,0 +1,52 @@
+// Package redshift is a Redshift-shaped backend: node-hour billing
+// (every started hour of a cluster run is billed in full), no
+// auto-suspend — the AUTO_SUSPEND knob does not exist and must be
+// rejected — no multi-cluster auto-scale, and slow cluster resume.
+// Manual suspend/resume and resizing are supported, and a paused
+// cluster still resumes on demand (auto-resume), mirroring Redshift's
+// pause/resume surface.
+package redshift
+
+import (
+	"time"
+
+	"kwo/internal/cdw/backend"
+)
+
+// provisionFactor stretches the base resume/scale-out delays: resuming
+// a paused cluster takes minutes, not seconds.
+const provisionFactor = 30
+
+// Backend implements backend.Backend with Redshift-shaped semantics.
+type Backend struct{}
+
+// New returns the Redshift-shaped backend.
+func New() Backend { return Backend{} }
+
+// Name implements backend.Backend.
+func (Backend) Name() string { return "redshift" }
+
+// Has implements backend.Backend: resize and auto-resume only — no
+// auto-suspend, no multi-cluster scale-out.
+func (Backend) Has(c backend.Capability) bool {
+	return c&(backend.CapAutoSuspend|backend.CapMultiCluster) == 0
+}
+
+// Billing implements backend.Backend: node-hour quanta — each cluster
+// run bills whole started hours.
+func (Backend) Billing() backend.BillingRule {
+	return backend.BillingRule{Quantum: time.Hour}
+}
+
+// ResumeDelay implements backend.Backend: slow cluster resume.
+func (Backend) ResumeDelay(base time.Duration) time.Duration {
+	return base * provisionFactor
+}
+
+// ClusterStartDelay implements backend.Backend: same slow provisioning.
+func (Backend) ClusterStartDelay(base time.Duration) time.Duration {
+	return base * provisionFactor
+}
+
+// MeteringGranularity implements backend.Backend: hourly usage rows.
+func (Backend) MeteringGranularity() time.Duration { return time.Hour }

@@ -1,0 +1,44 @@
+// Package snowflake is the Snowflake-shaped backend: the full knob set
+// (auto-suspend, auto-resume, multi-cluster scale-out, resize),
+// per-second billing with a 60-second minimum per cluster start, fast
+// resume, and hourly metering history. It reproduces the semantics the
+// simulator has always had, byte for byte.
+package snowflake
+
+import (
+	"time"
+
+	"kwo/internal/cdw/backend"
+)
+
+// MinBilledClusterTime is Snowflake's 60-second billing minimum applied
+// on every warehouse resume or cluster start.
+const MinBilledClusterTime = 60 * time.Second
+
+// Backend implements backend.Backend with Snowflake semantics.
+type Backend struct{}
+
+// New returns the Snowflake backend.
+func New() Backend { return Backend{} }
+
+// Name implements backend.Backend.
+func (Backend) Name() string { return "snowflake" }
+
+// Has implements backend.Backend: every capability is supported.
+func (Backend) Has(c backend.Capability) bool { return true }
+
+// Billing implements backend.Backend: per-second billing with the
+// 60-second minimum per cluster start, no quantum rounding.
+func (Backend) Billing() backend.BillingRule {
+	return backend.BillingRule{MinPerStart: MinBilledClusterTime}
+}
+
+// ResumeDelay implements backend.Backend: resume is fast (identity).
+func (Backend) ResumeDelay(base time.Duration) time.Duration { return base }
+
+// ClusterStartDelay implements backend.Backend (identity).
+func (Backend) ClusterStartDelay(base time.Duration) time.Duration { return base }
+
+// MeteringGranularity implements backend.Backend: hourly rows, like
+// WAREHOUSE_METERING_HISTORY.
+func (Backend) MeteringGranularity() time.Duration { return time.Hour }

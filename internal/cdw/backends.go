@@ -1,0 +1,127 @@
+package cdw
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"kwo/internal/cdw/backend"
+	"kwo/internal/cdw/backend/bigquery"
+	"kwo/internal/cdw/backend/redshift"
+	"kwo/internal/cdw/backend/snowflake"
+)
+
+// DefaultBackend is the backend every account uses unless told
+// otherwise: the Snowflake-shaped simulator the repository started
+// with.
+func DefaultBackend() backend.Backend { return snowflake.New() }
+
+var registeredBackends = map[string]backend.Backend{
+	"snowflake": snowflake.New(),
+	"bigquery":  bigquery.New(),
+	"redshift":  redshift.New(),
+}
+
+// BackendByName resolves a backend by its stable name. The empty string
+// resolves to the default (Snowflake) backend, so zero-valued
+// configurations keep their historical behaviour.
+func BackendByName(name string) (backend.Backend, error) {
+	if name == "" {
+		return DefaultBackend(), nil
+	}
+	b, ok := registeredBackends[name]
+	if !ok {
+		return nil, fmt.Errorf("cdw: unknown backend %q (have %v)", name, BackendNames())
+	}
+	return b, nil
+}
+
+// BackendNames lists the registered backends in sorted order.
+func BackendNames() []string {
+	out := make([]string, 0, len(registeredBackends))
+	for name := range registeredBackends {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CapabilityError reports an ALTER or configuration that depends on a
+// control-plane feature the backend does not have. It is permanent, not
+// transient: retrying the same statement can never succeed, so the
+// actuator records it as a permanent failure instead of backing off.
+type CapabilityError struct {
+	Backend string
+	Knob    string             // the rejected knob, e.g. "AUTO_SUSPEND"
+	Needs   backend.Capability // the missing capability
+}
+
+// Error implements error.
+func (e *CapabilityError) Error() string {
+	return fmt.Sprintf("cdw: backend %s does not support %s (requires %s)",
+		e.Backend, e.Knob, e.Needs)
+}
+
+// IsCapabilityError reports whether err is (or wraps) a CapabilityError.
+func IsCapabilityError(err error) bool {
+	var ce *CapabilityError
+	return errors.As(err, &ce)
+}
+
+// checkAlterationCapabilities rejects the knobs of an alteration the
+// backend cannot honour. A knob is rejected when it is present AND asks
+// for a state the backend has no concept of — setting AUTO_SUSPEND=0 on
+// a backend without auto-suspend is the only state it knows and passes,
+// while any positive value must fail loudly rather than be silently
+// dropped.
+func checkAlterationCapabilities(b backend.Backend, cur Config, a Alteration) error {
+	reject := func(knob string, needs backend.Capability) error {
+		return &CapabilityError{Backend: b.Name(), Knob: knob, Needs: needs}
+	}
+	if a.AutoSuspend != nil && *a.AutoSuspend != 0 && !b.Has(backend.CapAutoSuspend) {
+		return reject("AUTO_SUSPEND", backend.CapAutoSuspend)
+	}
+	if a.AutoResume != nil && *a.AutoResume && !b.Has(backend.CapAutoResume) {
+		return reject("AUTO_RESUME", backend.CapAutoResume)
+	}
+	if !b.Has(backend.CapMultiCluster) {
+		if a.MinClusters != nil && *a.MinClusters > 1 {
+			return reject("MIN_CLUSTER_COUNT", backend.CapMultiCluster)
+		}
+		if a.MaxClusters != nil && *a.MaxClusters > 1 {
+			return reject("MAX_CLUSTER_COUNT", backend.CapMultiCluster)
+		}
+		if a.Policy != nil && *a.Policy != ScaleStandard {
+			return reject("SCALING_POLICY", backend.CapMultiCluster)
+		}
+	}
+	if a.Size != nil && *a.Size != cur.Size && !b.Has(backend.CapResize) {
+		return reject("WAREHOUSE_SIZE", backend.CapResize)
+	}
+	return nil
+}
+
+// checkConfigCapabilities rejects a creation-time configuration that
+// depends on features the backend does not have.
+func checkConfigCapabilities(b backend.Backend, cfg Config) error {
+	reject := func(knob string, needs backend.Capability) error {
+		return &CapabilityError{Backend: b.Name(), Knob: knob, Needs: needs}
+	}
+	if cfg.AutoSuspend > 0 && !b.Has(backend.CapAutoSuspend) {
+		return reject("AUTO_SUSPEND", backend.CapAutoSuspend)
+	}
+	if cfg.AutoResume && !b.Has(backend.CapAutoResume) {
+		return reject("AUTO_RESUME", backend.CapAutoResume)
+	}
+	if cfg.MaxClusters > 1 && !b.Has(backend.CapMultiCluster) {
+		return reject("MAX_CLUSTER_COUNT", backend.CapMultiCluster)
+	}
+	return nil
+}
+
+// compile-time interface checks for the registered backends.
+var (
+	_ backend.Backend = snowflake.Backend{}
+	_ backend.Backend = bigquery.Backend{}
+	_ backend.Backend = redshift.Backend{}
+)

@@ -1,0 +1,33 @@
+package backendtest_test
+
+import (
+	"flag"
+	"testing"
+
+	"kwo/internal/cdw"
+	"kwo/internal/cdw/backendtest"
+)
+
+// conformanceBackend restricts the suite to one backend, so CI can run
+// a matrix leg per backend:
+//
+//	go test -race ./internal/cdw/backendtest -conformance-backend=bigquery
+var conformanceBackend = flag.String("conformance-backend", "",
+	"run the conformance suite against only this backend (default: all registered)")
+
+// TestConformance runs every registered backend through the suite. A
+// new backend registered with the cdw package is picked up here
+// automatically — there is no separate list to keep in sync.
+func TestConformance(t *testing.T) {
+	names := cdw.BackendNames()
+	if *conformanceBackend != "" {
+		names = []string{*conformanceBackend}
+	}
+	for _, name := range names {
+		b, err := cdw.BackendByName(name)
+		if err != nil {
+			t.Fatalf("BackendByName(%q): %v", name, err)
+		}
+		t.Run(name, func(t *testing.T) { backendtest.Run(t, b) })
+	}
+}

@@ -36,8 +36,12 @@ func (p ScalingPolicy) String() string {
 type Config struct {
 	Name        string
 	Size        Size
-	MinClusters int           // >= 1
-	MaxClusters int           // >= MinClusters; == MinClusters means Maximized mode
+	MinClusters int // >= 1
+	// MaxClusters is >= MinClusters. Min == Max > 1 runs the warehouse
+	// in Snowflake's Maximized mode (all clusters started together);
+	// Min == Max == 1 is a plain single-cluster warehouse, not
+	// Maximized — Maximized is a multi-cluster concept.
+	MaxClusters int
 	Policy      ScalingPolicy // scale-out/scale-in behaviour
 	AutoSuspend time.Duration // idle period before automatic suspension; 0 disables
 	AutoResume  bool          // resume automatically when a query arrives
@@ -65,7 +69,9 @@ func (c Config) Validate() error {
 }
 
 // Maximized reports whether the warehouse runs in Snowflake's Maximized
-// mode (min == max clusters, all started together).
+// mode: a multi-cluster warehouse (MaxClusters > 1) with min == max, so
+// all clusters start together. A Min=Max=1 warehouse is an ordinary
+// single-cluster warehouse, never Maximized.
 func (c Config) Maximized() bool { return c.MinClusters == c.MaxClusters && c.MaxClusters > 1 }
 
 // Alteration is a partial configuration change, the simulator's
@@ -108,7 +114,10 @@ func (a Alteration) String() string {
 		s += fmt.Sprintf(" SCALING_POLICY=%s", *a.Policy)
 	}
 	if a.AutoSuspend != nil {
-		s += fmt.Sprintf(" AUTO_SUSPEND=%d", int(a.AutoSuspend.Seconds()))
+		// AUTO_SUSPEND takes whole seconds; render the same
+		// round-to-nearest-second value Apply installs, so the logged
+		// statement never disagrees with the applied configuration.
+		s += fmt.Sprintf(" AUTO_SUSPEND=%d", int64(a.AutoSuspend.Round(time.Second)/time.Second))
 	}
 	if a.AutoResume != nil {
 		s += fmt.Sprintf(" AUTO_RESUME=%v", *a.AutoResume)
@@ -137,7 +146,10 @@ func (a Alteration) Apply(c Config) Config {
 		c.Policy = *a.Policy
 	}
 	if a.AutoSuspend != nil {
-		c.AutoSuspend = *a.AutoSuspend
+		// Whole seconds only, matching the rendered statement: a
+		// non-integral duration rounds to the nearest second in both
+		// places, so audit log and configuration always agree.
+		c.AutoSuspend = a.AutoSuspend.Round(time.Second)
 	}
 	if a.AutoResume != nil {
 		c.AutoResume = *a.AutoResume

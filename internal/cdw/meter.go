@@ -3,12 +3,16 @@ package cdw
 import (
 	"sort"
 	"time"
+
+	"kwo/internal/cdw/backend"
+	"kwo/internal/cdw/backend/snowflake"
 )
 
 // MinBilledClusterTime is the minimum billed duration each time a
 // cluster starts, matching Snowflake's 60-second minimum on every
-// warehouse resume or cluster start.
-const MinBilledClusterTime = 60 * time.Second
+// warehouse resume or cluster start. Backends other than Snowflake
+// carry their own rule; see backend.BillingRule.
+const MinBilledClusterTime = snowflake.MinBilledClusterTime
 
 // MeterSegment is one contiguous billed interval for one cluster at one
 // size. A cluster that runs across a resize produces multiple segments.
@@ -18,13 +22,15 @@ type MeterSegment struct {
 	Size      Size
 	Start     time.Time
 	End       time.Time // zero while the segment is open
-	// MinimumApplied marks the segment that opened a cluster run (and
-	// therefore carried the 60-second billing minimum at start).
+	// MinimumApplied marks the segment that opened a cluster run (which
+	// carries the backend's per-start billing minimum, when its billing
+	// rule has one).
 	MinimumApplied bool
 	// MinBilledUntil, when non-zero, extends the billed interval to at
-	// least this instant — the 60-second cluster-start minimum. A resize
-	// inside the minimum window hands the remainder to the post-resize
-	// segment, so a cluster run's billed intervals never overlap.
+	// least this instant — the per-start billing minimum at run start,
+	// or the quantum round-up when the run stops. A resize inside the
+	// minimum window hands the remainder to the post-resize segment, so
+	// a cluster run's billed intervals never overlap.
 	MinBilledUntil time.Time
 }
 
@@ -50,21 +56,37 @@ func (s MeterSegment) Credits() float64 {
 // credit queries used both for "actual" billing and by the cost model.
 type Meter struct {
 	warehouse string
+	rule      backend.BillingRule
 	closed    []MeterSegment
 	open      map[int]*MeterSegment // by cluster ID
+	runStart  map[int]time.Time     // run start per open cluster (for quantum rounding)
 }
 
-// NewMeter returns an empty ledger for the named warehouse.
+// NewMeter returns an empty ledger for the named warehouse, billing
+// under the default Snowflake rule (per-second with a 60s minimum per
+// cluster start).
 func NewMeter(warehouse string) *Meter {
+	return NewMeterWithRule(warehouse, backend.BillingRule{MinPerStart: MinBilledClusterTime})
+}
+
+// NewMeterWithRule returns an empty ledger billing under the given
+// backend billing rule.
+func NewMeterWithRule(warehouse string, rule backend.BillingRule) *Meter {
 	return &Meter{
 		warehouse: warehouse,
+		rule:      rule,
 		open:      make(map[int]*MeterSegment),
+		runStart:  make(map[int]time.Time),
 	}
 }
 
+// Rule returns the billing rule the meter quantizes under.
+func (m *Meter) Rule() backend.BillingRule { return m.rule }
+
 // StartCluster opens metering for a cluster at the given size. newStart
 // marks a genuine cluster start (resume or scale-out), which carries the
-// 60-second billing minimum; a resize reopening is not a new start.
+// rule's per-start billing minimum; a resize reopening is not a new
+// start.
 func (m *Meter) StartCluster(clusterID int, size Size, at time.Time, newStart bool) {
 	seg := &MeterSegment{
 		Warehouse: m.warehouse,
@@ -74,20 +96,34 @@ func (m *Meter) StartCluster(clusterID int, size Size, at time.Time, newStart bo
 	}
 	if newStart {
 		seg.MinimumApplied = true
-		seg.MinBilledUntil = at.Add(MinBilledClusterTime)
+		if m.rule.MinPerStart > 0 {
+			seg.MinBilledUntil = at.Add(m.rule.MinPerStart)
+		}
+		m.runStart[clusterID] = at
 	}
 	m.open[clusterID] = seg
 }
 
-// StopCluster closes metering for a cluster.
+// StopCluster closes metering for a cluster. Under a quantum billing
+// rule the run's billed time rounds up to the next whole quantum (at
+// the final segment's size), extending the closing segment's billed
+// interval.
 func (m *Meter) StopCluster(clusterID int, at time.Time) {
 	seg, ok := m.open[clusterID]
 	if !ok {
 		return
 	}
 	seg.End = at
+	if m.rule.Quantum > 0 {
+		if rs, ok := m.runStart[clusterID]; ok {
+			if end := m.rule.BilledEnd(rs, at); end.After(seg.billedEnd()) {
+				seg.MinBilledUntil = end
+			}
+		}
+	}
 	m.closed = append(m.closed, *seg)
 	delete(m.open, clusterID)
+	delete(m.runStart, clusterID)
 }
 
 // Resize closes every open segment at the old size and reopens it at the

@@ -110,7 +110,7 @@ func newWarehouse(acct *Account, cfg Config, startSuspended bool) *Warehouse {
 		acct:  acct,
 		sched: acct.sched,
 		cfg:   cfg,
-		meter: NewMeter(cfg.Name),
+		meter: NewMeterWithRule(cfg.Name, acct.backend.Billing()),
 	}
 	if !startSuspended {
 		w.resume(false)
@@ -148,6 +148,18 @@ func (w *Warehouse) RunningQueries() int {
 // Meter exposes the billing ledger.
 func (w *Warehouse) Meter() *Meter { return w.meter }
 
+// resumeDelay is the backend-shaped warm-up before a resumed warehouse
+// serves its first query.
+func (w *Warehouse) resumeDelay() time.Duration {
+	return w.acct.backend.ResumeDelay(w.acct.params.ResumeDelay)
+}
+
+// clusterStartDelay is the backend-shaped warm-up before an extra
+// cluster accepts queries.
+func (w *Warehouse) clusterStartDelay() time.Duration {
+	return w.acct.backend.ClusterStartDelay(w.acct.params.ClusterStartDelay)
+}
+
 // Stats returns lifetime counters.
 func (w *Warehouse) Stats() (resumes, suspends, coldReads, completed int) {
 	return w.resumes, w.suspends, w.coldReads, w.completed
@@ -178,7 +190,7 @@ func (w *Warehouse) resume(byQuery bool) {
 	w.running = true
 	w.spareChecks = 0
 	for i := 0; i < w.cfg.MinClusters; i++ {
-		w.startCluster(now.Add(w.acct.params.ResumeDelay))
+		w.startCluster(now.Add(w.resumeDelay()))
 	}
 	w.resumes++
 	w.acct.emitWarehouseEvent(WarehouseEvent{
@@ -268,7 +280,7 @@ func (w *Warehouse) stopCluster(c *cluster) {
 	// leaving a running warehouse below its floor with nothing queued to
 	// trigger a scale-out. Backfill immediately.
 	if w.running && len(w.clusters) < w.cfg.MinClusters {
-		w.startCluster(now.Add(w.acct.params.ClusterStartDelay))
+		w.startCluster(now.Add(w.clusterStartDelay()))
 	}
 }
 
@@ -336,7 +348,7 @@ func (w *Warehouse) maybeScaleOut() bool {
 		}
 	}
 	w.lastStart = now
-	w.startCluster(now.Add(p.ClusterStartDelay))
+	w.startCluster(now.Add(w.clusterStartDelay()))
 	return true
 }
 
@@ -553,7 +565,7 @@ func (w *Warehouse) applyAlteration(a Alteration) error {
 			newest.draining = true
 		}
 		for len(w.clusters) < w.cfg.MinClusters {
-			w.startCluster(now.Add(w.acct.params.ClusterStartDelay))
+			w.startCluster(now.Add(w.clusterStartDelay()))
 		}
 	}
 	if a.Suspend && w.running {

@@ -37,6 +37,11 @@ type Engine struct {
 	ledger *pricing.Ledger
 	opts   Options
 	hub    *obs.Hub
+	// optsErr records an invalid Options field detected at construction
+	// (e.g. an out-of-range SavingsShare). The constructors keep their
+	// no-error signatures for composability; the error surfaces at
+	// Attach, before the engine can bill anything at the wrong rate.
+	optsErr error
 
 	models map[string]*smState
 	names  []string
@@ -55,8 +60,9 @@ type smState struct {
 	// billStart is the beginning of the current billing period.
 	billStart time.Time
 	attachAt  time.Time
-	// lastBillingPull is the last completed hour whose billing history
-	// was ingested into the telemetry store.
+	// lastBillingPull is the last completed metering bucket (hourly on
+	// Snowflake) whose billing history was ingested into the telemetry
+	// store.
 	lastBillingPull time.Time
 	// cursor incrementally replays the current billing period so the
 	// period-closing estimate in bill() is O(new records) instead of a
@@ -114,15 +120,23 @@ func NewEngineWithStore(acct *cdw.Account, store *telemetry.Store, opts Options)
 	if hub == nil {
 		hub = obs.NewHub(acct.Scheduler().Now)
 	}
+	ledger, ledgerErr := pricing.NewLedger(opts.SavingsShare)
+	if ledgerErr != nil {
+		// Keep the engine constructible (accessors stay non-nil) but
+		// refuse to attach warehouses: nothing may ever be invoiced at a
+		// silently-substituted rate.
+		ledger, _ = pricing.NewLedger(0)
+	}
 	e := &Engine{
-		acct:   acct,
-		sched:  acct.Scheduler(),
-		store:  store,
-		act:    actuator.New(acct, opts.OverheadPerOp),
-		ledger: pricing.NewLedger(opts.SavingsShare),
-		opts:   opts,
-		hub:    hub,
-		models: make(map[string]*smState),
+		acct:    acct,
+		sched:   acct.Scheduler(),
+		store:   store,
+		act:     actuator.New(acct, opts.OverheadPerOp),
+		ledger:  ledger,
+		opts:    opts,
+		hub:     hub,
+		optsErr: ledgerErr,
+		models:  make(map[string]*smState),
 	}
 	e.act.SetObs(hub)
 	if opts.Retry.MaxAttempts > 0 {
@@ -202,6 +216,9 @@ func (e *Engine) Obs() *obs.Hub { return e.hub }
 // initial training pass runs over whatever telemetry already exists
 // (Algorithm 1 line 8: read the last 90 days).
 func (e *Engine) Attach(warehouse string, settings WarehouseSettings) (*SmartModel, error) {
+	if e.optsErr != nil {
+		return nil, fmt.Errorf("core: engine misconfigured: %w", e.optsErr)
+	}
 	if _, ok := e.models[warehouse]; ok {
 		return nil, fmt.Errorf("core: warehouse %s already attached", warehouse)
 	}
@@ -220,6 +237,7 @@ func (e *Engine) Attach(warehouse string, settings WarehouseSettings) (*SmartMod
 	rng := e.sched.Rand("smartmodel:" + warehouse)
 	sm := newSmartModel(warehouse, orig, settings, e.store, rng, e.opts)
 	sm.attachedAt = now
+	sm.setBackend(e.acct.Backend())
 	st := &smState{sm: sm, billStart: now, attachAt: now,
 		lastChangeIdx:    len(e.acct.Changes()),
 		obsTicks:         e.hub.DecisionTicks.With(warehouse),
@@ -363,18 +381,21 @@ func (e *Engine) tick(st *smState) {
 	e.act.MeterTelemetryPull()
 
 	// Ingest billing history since the last pull (§6.1: training data
-	// is query history + billing history). Completed hours only; the
-	// current partial hour is re-pulled next time. The pull goes through
-	// the account's fault-aware history API, and the cursor advances
-	// only to the returned watermark — a lagging metering view shortens
-	// this pull instead of silently losing the delayed hours.
-	hourNow := now.Truncate(time.Hour)
-	if hourNow.After(st.lastBillingPull) {
+	// is query history + billing history). Completed metering buckets
+	// only — the bucket width comes from the backend (hourly on
+	// Snowflake) — and the current partial bucket is re-pulled next
+	// time. The pull goes through the account's fault-aware history API,
+	// and the cursor advances only to the returned watermark — a lagging
+	// metering view shortens this pull instead of silently losing the
+	// delayed buckets.
+	gran := e.acct.Backend().MeteringGranularity()
+	bucketNow := now.Truncate(gran)
+	if bucketNow.After(st.lastBillingPull) {
 		from := st.lastBillingPull
 		if from.IsZero() {
-			from = st.attachAt.Add(-e.opts.HistoryWindow).Truncate(time.Hour)
+			from = st.attachAt.Add(-e.opts.HistoryWindow).Truncate(gran)
 		}
-		rows, watermark, err := e.acct.BillingHistory(sm.Warehouse, from, hourNow)
+		rows, watermark, err := e.acct.BillingHistory(sm.Warehouse, from, bucketNow)
 		if err != nil {
 			st.ingestFails++
 			e.act.NoteIngestFailure(sm.Warehouse, err)

@@ -6,6 +6,7 @@ import (
 
 	"kwo/internal/action"
 	"kwo/internal/cdw"
+	"kwo/internal/cdw/backend"
 	"kwo/internal/costmodel"
 	"kwo/internal/ml"
 	"kwo/internal/monitor"
@@ -28,6 +29,14 @@ type SmartModel struct {
 	mon     *monitor.Monitor
 	backoff *policy.Backoff
 	rng     *rand.Rand
+
+	// billing is the backend's billing quantization, threaded into the
+	// cost model at training time so counterfactual replays bill the way
+	// the live meter does; caps is the backend's capability set, used to
+	// skip action kinds the backend cannot execute (proposing them would
+	// only burn actuator attempts on permanent CapabilityErrors).
+	billing backend.BillingRule
+	caps    backend.Capability
 
 	// orig is the customer's configuration at attach time: the
 	// without-Keebo counterfactual baseline.
@@ -107,7 +116,33 @@ func newSmartModel(warehouse string, orig cdw.Config, settings WarehouseSettings
 		orig:      orig,
 		expected:  orig,
 	}
+	sm.setBackend(cdw.DefaultBackend())
 	return sm
+}
+
+// setBackend adopts a backend's billing rule and capability set. The
+// engine calls it at attach time; newSmartModel defaults to Snowflake
+// so models built outside an engine keep historical behaviour.
+func (sm *SmartModel) setBackend(b backend.Backend) {
+	sm.billing = b.Billing()
+	sm.caps = backend.CapabilitiesOf(b)
+}
+
+// kindSupported reports whether the backend can execute the action
+// kind at all. Unsupported kinds are filtered before ranking ever
+// proposes them: on a backend without auto-suspend, SuspendShorter
+// would not merely fail — clamping 0 to the 30s floor would turn
+// auto-suspend ON, a semantic change the backend has no concept of.
+func (sm *SmartModel) kindSupported(kind action.Kind) bool {
+	switch kind {
+	case action.ClustersUp, action.ClustersDown, action.PolicyEconomy, action.PolicyStandard:
+		return sm.caps&backend.CapMultiCluster != 0
+	case action.SuspendShorter, action.SuspendLonger:
+		return sm.caps&backend.CapAutoSuspend != 0
+	case action.SizeUp, action.SizeDown:
+		return sm.caps&backend.CapResize != 0
+	}
+	return true
 }
 
 // Settings returns the current customer settings.
@@ -173,7 +208,7 @@ func (sm *SmartModel) noteSnapshot(snap monitor.Snapshot) {
 // retrain refreshes the cost model and runs an offline training pass
 // over historical windows (Algorithm 1 lines 14–16).
 func (sm *SmartModel) retrain(log *telemetry.WarehouseLog, from, to time.Time, slots int, opts Options) {
-	sm.cost = costmodel.Train(log, sm.orig, from, to, slots)
+	sm.cost = costmodel.TrainWithBilling(log, sm.orig, from, to, slots, sm.billing)
 	ts := OfflineTransitions(log, sm.cost, sm.orig, from, to, opts.DecideEvery,
 		sm.settings.Slider.Tuning())
 	if len(ts) > 0 {
@@ -386,6 +421,9 @@ func (sm *SmartModel) decide(now time.Time, current cdw.Config, snap monitor.Sna
 	for _, kind := range ranked {
 		if kind == action.NoOp {
 			return noop, cdw.Alteration{}
+		}
+		if !sm.kindSupported(kind) {
+			continue
 		}
 		cand := action.Action{Kind: kind, Warehouse: sm.Warehouse}
 		if !cand.Effective(current) {

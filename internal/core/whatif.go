@@ -89,7 +89,7 @@ func (e *Engine) WhatIf(warehouse string, settings WarehouseSettings,
 	// original configuration, and arrivals reconstructed from
 	// telemetry.
 	sbSched := simclock.NewSchedulerAt(from.Add(-time.Hour), 1)
-	sbAcct := cdw.NewAccount(sbSched, e.acct.Params())
+	sbAcct := cdw.NewAccountWithBackend(sbSched, e.acct.Params(), e.acct.Backend())
 	orig := sm.orig
 	if _, err := sbAcct.CreateWarehouse(orig); err != nil {
 		return WhatIfResult{}, err

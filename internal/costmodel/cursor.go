@@ -156,7 +156,7 @@ func (c *ReplayCursor) closePeriod() {
 	if c.cur == nil {
 		return
 	}
-	iv := billedInterval(*c.cur, c.autoSuspend)
+	iv := billedInterval(*c.cur, c.autoSuspend, c.m.Billing)
 	c.closed = append(c.closed, iv)
 	c.closedActive += iv.end.Sub(iv.start).Seconds()
 	c.resumesClosed++
@@ -209,7 +209,7 @@ func (c *ReplayCursor) windowActive(w, wEnd time.Time, lo int) (float64, int) {
 		active += c.closed[i].overlapSecs(w, wEnd)
 	}
 	if c.cur != nil {
-		active += billedInterval(*c.cur, c.autoSuspend).overlapSecs(w, wEnd)
+		active += billedInterval(*c.cur, c.autoSuspend, c.m.Billing).overlapSecs(w, wEnd)
 	}
 	return active, lo
 }
@@ -229,7 +229,7 @@ func (c *ReplayCursor) result(to time.Time) ReplayResult {
 	}
 	if c.cur != nil {
 		res.Resumes++
-		iv := billedInterval(*c.cur, c.autoSuspend)
+		iv := billedInterval(*c.cur, c.autoSuspend, c.m.Billing)
 		res.ActiveSeconds += iv.end.Sub(iv.start).Seconds()
 		horizon = iv.end // billed ends strictly increase; the open period's is last
 	}

@@ -6,6 +6,7 @@ import (
 
 	"kwo/internal/action"
 	"kwo/internal/cdw"
+	"kwo/internal/cdw/backend"
 	"kwo/internal/ml"
 	"kwo/internal/telemetry"
 )
@@ -23,11 +24,24 @@ type Model struct {
 	Orig cdw.Config
 	// Slots is the per-cluster concurrency of the underlying CDW.
 	Slots int
+	// Billing is the backend's billing quantization; the counterfactual
+	// replay bills busy periods under the same rule the live meter
+	// does. Train always sets it explicitly (Snowflake by default).
+	Billing backend.BillingRule
 }
 
 // Train fits all parameter estimators from the telemetry in [from, to).
-// orig is the customer's original configuration.
+// orig is the customer's original configuration. The counterfactual
+// bills under the default Snowflake rule; use TrainWithBilling when the
+// warehouse lives on a different backend.
 func Train(log *telemetry.WarehouseLog, orig cdw.Config, from, to time.Time, slots int) *Model {
+	return TrainWithBilling(log, orig, from, to, slots, cdw.DefaultBackend().Billing())
+}
+
+// TrainWithBilling is Train with an explicit backend billing rule for
+// the without-Keebo counterfactual.
+func TrainWithBilling(log *telemetry.WarehouseLog, orig cdw.Config, from, to time.Time,
+	slots int, billing backend.BillingRule) *Model {
 	if slots <= 0 {
 		slots = 8
 	}
@@ -37,6 +51,7 @@ func Train(log *telemetry.WarehouseLog, orig cdw.Config, from, to time.Time, slo
 		Clusters: FitClusters(log, orig, from, to, slots),
 		Orig:     orig,
 		Slots:    slots,
+		Billing:  billing,
 	}
 }
 

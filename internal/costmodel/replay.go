@@ -3,7 +3,7 @@ package costmodel
 import (
 	"time"
 
-	"kwo/internal/cdw"
+	"kwo/internal/cdw/backend"
 	"kwo/internal/telemetry"
 )
 
@@ -36,7 +36,8 @@ type busyPeriod struct {
 }
 
 // billedIv is the billable extent of one busy period: the period plus
-// the auto-suspend idle tail, floored at the resume minimum. Because
+// the auto-suspend idle tail, quantized under the backend's billing
+// rule (per-start minimum floor, then quantum round-up). Because
 // busy-period starts strictly increase and each period begins after the
 // previous one's auto-suspend fired, billed starts AND billed ends are
 // strictly increasing across periods — which is what lets replay and
@@ -46,12 +47,8 @@ type billedIv struct {
 	start, end time.Time
 }
 
-func billedInterval(p busyPeriod, autoSuspend time.Duration) billedIv {
-	end := p.end.Add(autoSuspend)
-	if min := p.start.Add(cdw.MinBilledClusterTime); end.Before(min) {
-		end = min
-	}
-	return billedIv{p.start, end}
+func billedInterval(p busyPeriod, autoSuspend time.Duration, rule backend.BillingRule) billedIv {
+	return billedIv{p.start, rule.BilledEnd(p.start, p.end.Add(autoSuspend))}
 }
 
 // overlapSecs returns the overlap of iv with [w, wEnd) in seconds.
@@ -157,10 +154,10 @@ func (m *Model) Replay(log *telemetry.WarehouseLog, from, to time.Time) ReplayRe
 
 	// Pass 2: billed intervals — each busy period runs on for the
 	// auto-suspend interval after its last completion (idle billing),
-	// with the 60-second resume minimum applied.
+	// quantized under the backend's billing rule.
 	billedIvs := make([]billedIv, 0, len(periods))
 	for _, p := range periods {
-		iv := billedInterval(p, autoSuspend)
+		iv := billedInterval(p, autoSuspend, m.Billing)
 		billedIvs = append(billedIvs, iv)
 		res.ActiveSeconds += iv.end.Sub(iv.start).Seconds()
 	}

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// mixedConfig is the standard mixed-fleet test shape: every registered
+// backend in the pool, enough tenants that the seeded draw lands on
+// more than one of them.
+func mixedConfig(tenants, workers int) Config {
+	cfg := testConfig(tenants, workers)
+	cfg.Backends = []string{"snowflake", "bigquery", "redshift"}
+	return cfg
+}
+
+// countBackends tallies how many tenants run on each backend, reading
+// the profile strings the rollup reports (snowflake is the unlabeled
+// default).
+func countBackends(rep *Report) map[string]int {
+	out := make(map[string]int)
+	for _, k := range rep.PerTenant {
+		name := "snowflake"
+		if i := strings.Index(k.Profile, "backend="); i >= 0 {
+			name = strings.Fields(k.Profile[i+len("backend="):])[0]
+		}
+		out[name]++
+	}
+	return out
+}
+
+// TestMixedBackendDeterminismAcrossWorkers extends the fleet's core
+// byte-identity property to heterogeneous fleets: with tenants spread
+// across backends, the rollup — including each tenant's event and
+// snapshot fingerprints — is identical for any worker pool size.
+func TestMixedBackendDeterminismAcrossWorkers(t *testing.T) {
+	tenants := 16
+	if testing.Short() {
+		tenants = 8
+	}
+	base := runFleet(t, mixedConfig(tenants, 1))
+	if n := countBackends(base); len(n) < 2 {
+		t.Fatalf("pool drew only %v; pick a seed/tenant count that actually mixes", n)
+	}
+	baseFP := base.Fingerprint()
+	sweep := []int{4, 16}
+	if *fleetWorkers > 0 {
+		sweep = []int{*fleetWorkers}
+	}
+	for _, w := range sweep {
+		rep := runFleet(t, mixedConfig(tenants, w))
+		if fp := rep.Fingerprint(); fp != baseFP {
+			diffTenants(t, base, rep)
+			t.Fatalf("mixed backends, workers=%d fingerprint %s != workers=1 %s", w, fp, baseFP)
+		}
+	}
+}
+
+// TestMixedBackendDegradedIsolation forces one tenant (on whatever
+// backend its draw assigned) behind a broken control plane and checks
+// no tenant on any backend is perturbed: cross-backend isolation is the
+// same hard boundary as same-backend isolation.
+func TestMixedBackendDegradedIsolation(t *testing.T) {
+	const sick = 2
+	cfg := mixedConfig(12, 4)
+	cfg.FaultRate = 0 // the forced plan must be the only difference
+	clean := runFleet(t, cfg)
+	if n := countBackends(clean); len(n) < 2 {
+		t.Fatalf("pool drew only %v; pick a seed/tenant count that actually mixes", n)
+	}
+	cfg.FaultTenants = []int{sick}
+	faulty := runFleet(t, cfg)
+
+	if got := faulty.PerTenant[sick].Faults; got.AlterFailures == 0 {
+		t.Errorf("forced-fault tenant saw no alter failures: %+v", got)
+	}
+	for i := range clean.PerTenant {
+		if i == sick {
+			continue
+		}
+		c, f := clean.PerTenant[i], faulty.PerTenant[i]
+		if c.EventsFingerprint != f.EventsFingerprint || c.SnapshotFingerprint != f.SnapshotFingerprint {
+			t.Errorf("tenant %s (profile %s) perturbed by tenant %d's faults",
+				c.Tenant, c.Profile, sick)
+		}
+	}
+}
+
+// TestSnowflakePoolMatchesDefault pins the compatibility contract: a
+// pool holding only the default backend changes nothing. The draw runs
+// on its own named stream, so per-tenant results — and therefore every
+// historical fingerprint — match a run with no pool at all.
+func TestSnowflakePoolMatchesDefault(t *testing.T) {
+	plain := runFleet(t, testConfig(8, 4))
+	pooled := func() Config {
+		cfg := testConfig(8, 4)
+		cfg.Backends = []string{"snowflake"}
+		return cfg
+	}()
+	rep := runFleet(t, pooled)
+	if a, b := plain.Fingerprint(), rep.Fingerprint(); a != b {
+		diffTenants(t, plain, rep)
+		t.Fatalf("Backends=[snowflake] fingerprint %s != no-pool %s", b, a)
+	}
+}
+
+// TestBackendPoolValidation rejects bad pools up front, before any
+// tenant is provisioned.
+func TestBackendPoolValidation(t *testing.T) {
+	cfg := testConfig(2, 1)
+	cfg.Backends = []string{"snowflake", "nosuch"}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("unknown backend in pool: got err %v, want mention of %q", err, "nosuch")
+	}
+	cfg.Backends = []string{""}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("empty backend name in pool accepted")
+	}
+}

@@ -52,6 +52,12 @@ type Config struct {
 	// tenant indices regardless of FaultRate — the isolation tests use
 	// it to push one tenant into degraded mode on demand.
 	FaultTenants []int
+	// Backends is the pool of CDW backends tenants are provisioned on;
+	// each tenant draws one from its own dedicated seeded stream, so a
+	// mixed-backend fleet stays a pure function of the fleet seed. Empty
+	// means every tenant runs on the default (Snowflake) backend with no
+	// draw at all, keeping historical fingerprints byte-identical.
+	Backends []string
 	// TopK is how many regressed tenants the rollup highlights
 	// (default 5).
 	TopK int
@@ -105,6 +111,14 @@ func (c Config) withDefaults() (Config, error) {
 	for _, i := range c.FaultTenants {
 		if i < 0 || i >= c.Tenants {
 			return c, fmt.Errorf("fleet: FaultTenants index %d outside [0, %d)", i, c.Tenants)
+		}
+	}
+	for _, name := range c.Backends {
+		if name == "" {
+			return c, fmt.Errorf("fleet: Backends must not contain empty names")
+		}
+		if _, err := cdw.BackendByName(name); err != nil {
+			return c, fmt.Errorf("fleet: %w", err)
 		}
 	}
 	if c.TopK <= 0 {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kwo/internal/cdw"
+	"kwo/internal/cdw/backend"
 	"kwo/internal/core"
 	"kwo/internal/obs"
 	"kwo/internal/policy"
@@ -56,13 +57,23 @@ type profile struct {
 	Slider      policy.Slider
 	MaxClusters int
 	AutoSuspend time.Duration
+	AutoResume  bool
+	// Backend is the CDW backend the tenant was provisioned on. Empty
+	// means the default (Snowflake) backend — the field is only set when
+	// the fleet draws from a configured backend pool.
+	Backend string
 }
 
 // String renders the profile compactly (no commas — it rides inside CSV
-// rollup rows).
+// rollup rows). The backend suffix appears only for non-default
+// backends, so default-fleet report rows stay byte-identical.
 func (p profile) String() string {
-	return fmt.Sprintf("%s qph=%.1f size=%s slider=%d clusters<=%d suspend=%s",
+	s := fmt.Sprintf("%s qph=%.1f size=%s slider=%d clusters<=%d suspend=%s",
 		p.Workload, p.QPH, p.Size, int(p.Slider), p.MaxClusters, p.AutoSuspend)
+	if p.Backend != "" && p.Backend != "snowflake" {
+		s += " backend=" + p.Backend
+	}
+	return s
 }
 
 func deriveProfile(rng *rand.Rand) profile {
@@ -73,7 +84,38 @@ func deriveProfile(rng *rand.Rand) profile {
 	p.Slider = []policy.Slider{policy.GoodPerformance, policy.Balanced, policy.LowCost}[rng.Intn(3)]
 	p.MaxClusters = 1 + rng.Intn(2)
 	p.AutoSuspend = time.Duration(5+5*rng.Intn(3)) * time.Minute
+	p.AutoResume = true
 	return p
+}
+
+// deriveBackend draws the tenant's backend from the configured pool on
+// a dedicated RNG stream (other streams never see the draw), resolves
+// it, and clamps the already-derived profile to the backend's
+// capability set: a knob the backend has no concept of is removed from
+// the warehouse configuration rather than rejected at creation. With an
+// empty pool no draw happens at all and the default backend is
+// returned, so single-backend fleets keep historical fingerprints.
+func deriveBackend(rng *rand.Rand, pool []string, p *profile) (backend.Backend, error) {
+	if len(pool) == 0 {
+		return cdw.DefaultBackend(), nil
+	}
+	name := pool[rng.Intn(len(pool))]
+	b, err := cdw.BackendByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p.Backend = b.Name()
+	caps := backend.CapabilitiesOf(b)
+	if caps&backend.CapMultiCluster == 0 {
+		p.MaxClusters = 1
+	}
+	if caps&backend.CapAutoSuspend == 0 {
+		p.AutoSuspend = 0
+	}
+	if caps&backend.CapAutoResume == 0 {
+		p.AutoResume = false
+	}
+	return b, nil
 }
 
 // generator builds the profile's arrival generator from the standard
@@ -184,7 +226,18 @@ type tenant struct {
 func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 	t := &tenant{idx: idx, id: id, seed: seed}
 	t.sched = simclock.NewScheduler(seed)
-	t.acct = cdw.NewAccount(t.sched, cfg.Params)
+	// The profile is derived before the backend so the backend draw can
+	// clamp it; both use their own named streams, so adding a backend
+	// pool later never shifts the profile a seed produces.
+	t.prof = deriveProfile(t.sched.Rand("fleet:profile"))
+	bk, bkErr := deriveBackend(t.sched.Rand("fleet:backend"), cfg.Backends, &t.prof)
+	if bkErr != nil {
+		// Unreachable after withDefaults validation, but a provisioning
+		// path must fail closed, not panic.
+		t.attachErr = fmt.Errorf("tenant %s: backend: %w", id, bkErr)
+		bk = cdw.DefaultBackend()
+	}
+	t.acct = cdw.NewAccountWithBackend(t.sched, cfg.Params, bk)
 	t.store = telemetry.NewStore()
 	t.hub = obs.NewHub(t.sched.Now)
 	t.events = newEventHasher()
@@ -197,7 +250,6 @@ func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 	horizon := time.Duration(cfg.Epochs) * cfg.EpochLen
 	t.attachAt = t.start.Add(time.Duration(cfg.AttachEpoch) * cfg.EpochLen)
 
-	t.prof = deriveProfile(t.sched.Rand("fleet:profile"))
 	t.plan = deriveFaultPlan(t.sched.Rand("fleet:faults"), cfg.FaultRate)
 	for _, f := range cfg.FaultTenants {
 		if f == idx {
@@ -215,7 +267,7 @@ func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 		MaxClusters: t.prof.MaxClusters,
 		Policy:      cdw.ScaleStandard,
 		AutoSuspend: t.prof.AutoSuspend,
-		AutoResume:  true,
+		AutoResume:  t.prof.AutoResume,
 	}); err != nil {
 		t.attachErr = fmt.Errorf("tenant %s: create warehouse: %w", id, err)
 		return t

@@ -33,10 +33,19 @@ type Invoice struct {
 // NewInvoice computes an invoice from the period's actual and
 // counterfactual costs. Negative savings never produce a charge (and
 // are reported as zero savings): the customer has nothing to lose (C1).
-func NewInvoice(warehouse string, from, to time.Time, actual, withoutKeebo, rate float64) Invoice {
-	if rate <= 0 || rate >= 1 {
-		rate = DefaultRate
+// The rate must lie strictly inside (0, 1); an out-of-range rate is an
+// error, never silently replaced — a mistyped 1.0 must fail loudly, not
+// quietly bill the default share.
+func NewInvoice(warehouse string, from, to time.Time, actual, withoutKeebo, rate float64) (Invoice, error) {
+	if err := ValidateRate(rate); err != nil {
+		return Invoice{}, fmt.Errorf("pricing: invoice %s: %w", warehouse, err)
 	}
+	return newInvoice(warehouse, from, to, actual, withoutKeebo, rate), nil
+}
+
+// newInvoice builds the invoice from a rate the caller has already
+// validated (Ledger construction validates once, Add reuses).
+func newInvoice(warehouse string, from, to time.Time, actual, withoutKeebo, rate float64) Invoice {
 	savings := withoutKeebo - actual
 	if savings < 0 {
 		savings = 0
@@ -51,6 +60,15 @@ func NewInvoice(warehouse string, from, to time.Time, actual, withoutKeebo, rate
 		Rate:                  rate,
 		Charge:                savings * rate,
 	}
+}
+
+// ValidateRate reports whether a savings-share rate is usable: a finite
+// fraction strictly inside (0, 1).
+func ValidateRate(rate float64) error {
+	if math.IsNaN(rate) || rate <= 0 || rate >= 1 {
+		return fmt.Errorf("pricing: rate %v outside (0,1)", rate)
+	}
+	return nil
 }
 
 // Validate checks the invoice's internal consistency: every field
@@ -120,17 +138,24 @@ type Ledger struct {
 	invoices []Invoice
 }
 
-// NewLedger creates a ledger with the given savings share.
-func NewLedger(rate float64) *Ledger {
-	if rate <= 0 || rate >= 1 {
+// NewLedger creates a ledger with the given savings share. A rate of
+// exactly zero is the documented zero-value convenience and selects
+// DefaultRate; any other out-of-range rate (negative, >= 1, NaN) is an
+// error rather than a silent substitution.
+func NewLedger(rate float64) (*Ledger, error) {
+	if rate == 0 {
 		rate = DefaultRate
 	}
-	return &Ledger{Rate: rate}
+	if err := ValidateRate(rate); err != nil {
+		return nil, fmt.Errorf("pricing: ledger: %w", err)
+	}
+	return &Ledger{Rate: rate}, nil
 }
 
-// Add computes and stores an invoice, returning it.
+// Add computes and stores an invoice, returning it. The ledger's rate
+// was validated at construction, so Add cannot fail.
 func (l *Ledger) Add(warehouse string, from, to time.Time, actual, withoutKeebo float64) Invoice {
-	inv := NewInvoice(warehouse, from, to, actual, withoutKeebo, l.Rate)
+	inv := newInvoice(warehouse, from, to, actual, withoutKeebo, l.Rate)
 	l.invoices = append(l.invoices, inv)
 	return inv
 }

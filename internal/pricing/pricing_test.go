@@ -12,8 +12,17 @@ import (
 
 var t0 = simclock.Epoch
 
+func mustInvoice(t *testing.T, warehouse string, from, to time.Time, actual, withoutKeebo, rate float64) Invoice {
+	t.Helper()
+	inv, err := NewInvoice(warehouse, from, to, actual, withoutKeebo, rate)
+	if err != nil {
+		t.Fatalf("NewInvoice: %v", err)
+	}
+	return inv
+}
+
 func TestInvoiceBasic(t *testing.T) {
-	inv := NewInvoice("W", t0, t0.Add(24*time.Hour), 40, 100, 0.2)
+	inv := mustInvoice(t, "W", t0, t0.Add(24*time.Hour), 40, 100, 0.2)
 	if inv.Savings != 60 {
 		t.Fatalf("savings = %v", inv.Savings)
 	}
@@ -29,7 +38,7 @@ func TestInvoiceBasic(t *testing.T) {
 }
 
 func TestNoSavingsNoCharge(t *testing.T) {
-	inv := NewInvoice("W", t0, t0.Add(time.Hour), 100, 80, 0.2)
+	inv := mustInvoice(t, "W", t0, t0.Add(time.Hour), 100, 80, 0.2)
 	if inv.Savings != 0 || inv.Charge != 0 {
 		t.Fatalf("negative savings billed: %+v", inv)
 	}
@@ -38,20 +47,43 @@ func TestNoSavingsNoCharge(t *testing.T) {
 	}
 }
 
-func TestBadRateDefaults(t *testing.T) {
-	for _, r := range []float64{-1, 0, 1, 2} {
-		inv := NewInvoice("W", t0, t0.Add(time.Hour), 0, 100, r)
-		if inv.Rate != DefaultRate {
-			t.Fatalf("rate %v not defaulted: %v", r, inv.Rate)
+// Regression: an out-of-range rate used to be silently replaced with
+// DefaultRate, so a mistyped 1.0 quietly billed 20%. It must now fail
+// loudly and produce no invoice at all.
+func TestBadRateRejected(t *testing.T) {
+	for _, r := range []float64{-1, 0, 1, 2, math.NaN()} {
+		inv, err := NewInvoice("W", t0, t0.Add(time.Hour), 0, 100, r)
+		if err == nil {
+			t.Fatalf("rate %v accepted: %+v", r, inv)
+		}
+		if inv != (Invoice{}) {
+			t.Fatalf("rate %v produced a non-zero invoice: %+v", r, inv)
 		}
 	}
-	if NewLedger(0).Rate != DefaultRate {
-		t.Fatal("ledger rate not defaulted")
+	for _, r := range []float64{-1, 1, 2, math.NaN()} {
+		if l, err := NewLedger(r); err == nil {
+			t.Fatalf("ledger rate %v accepted: %+v", r, l)
+		}
+	}
+}
+
+// A rate of exactly zero stays the documented zero-value convenience
+// for ledgers: "unset" means DefaultRate.
+func TestLedgerZeroRateDefaults(t *testing.T) {
+	l, err := NewLedger(0)
+	if err != nil {
+		t.Fatalf("NewLedger(0): %v", err)
+	}
+	if l.Rate != DefaultRate {
+		t.Fatalf("ledger rate not defaulted: %v", l.Rate)
 	}
 }
 
 func TestLedgerAccumulates(t *testing.T) {
-	l := NewLedger(0.25)
+	l, err := NewLedger(0.25)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
 	l.Add("A", t0, t0.Add(time.Hour), 10, 30)
 	l.Add("B", t0, t0.Add(time.Hour), 50, 50)
 	l.Add("A", t0.Add(time.Hour), t0.Add(2*time.Hour), 5, 25)
@@ -74,7 +106,10 @@ func TestPropertyChargeBounds(t *testing.T) {
 			math.Abs(actual) > 1e12 || math.Abs(without) > 1e12 {
 			return true
 		}
-		inv := NewInvoice("W", t0, t0.Add(time.Hour), actual, without, 0.2)
+		inv, err := NewInvoice("W", t0, t0.Add(time.Hour), actual, without, 0.2)
+		if err != nil {
+			return false
+		}
 		if inv.Charge < 0 || inv.Savings < 0 {
 			return false
 		}

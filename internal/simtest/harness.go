@@ -141,7 +141,11 @@ type harness struct {
 func RunScenario(sc Scenario) *Result {
 	h := &harness{sc: sc, name: sc.Warehouse.Name, autoResumeOn: sc.Warehouse.AutoResume}
 	h.sched = simclock.NewScheduler(sc.Seed)
-	h.acct = cdw.NewAccount(h.sched, sc.Params)
+	bk, err := cdw.BackendByName(sc.Backend)
+	if err != nil {
+		return &Result{Failures: []string{err.Error()}}
+	}
+	h.acct = cdw.NewAccountWithBackend(h.sched, sc.Params, bk)
 	if sc.Plan != nil {
 		h.acct.SetFaults(*sc.Plan)
 	}

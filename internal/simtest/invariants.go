@@ -294,19 +294,20 @@ func naiveWindowStats(l *telemetry.WarehouseLog, from, to time.Time) telemetry.W
 
 // checkMeter is billing conservation: the per-segment ledger, the hourly
 // aggregation, and the range query must all describe the same credits,
-// and every cluster run must bill at least the 60-second minimum with no
-// overlapping intervals.
+// and every cluster run must bill at least the backend's per-start
+// minimum with no overlapping intervals.
 func (h *harness) checkMeter(now time.Time) {
 	m := h.wh.Meter()
+	rule := h.acct.Backend().Billing()
 	total := m.TotalCredits(now)
 	if total+1e-9 < h.prevCredits {
 		h.failf(now, "total credits decreased: %.9f -> %.9f", h.prevCredits, total)
 	}
 	h.prevCredits = total
 
-	// far reaches past every pending 60s minimum so open segments are
-	// fully covered by the bucketed views.
-	far := now.Add(2 * cdw.MinBilledClusterTime)
+	// far reaches past every pending per-start minimum and quantum
+	// round-up so open segments are fully covered by the bucketed views.
+	far := now.Add(2*rule.MinPerStart + 2*rule.Quantum + time.Hour)
 	var sumHourly float64
 	for _, r := range m.Hourly(h.start, far, now) {
 		if !r.HourStart.Equal(r.HourStart.Truncate(time.Hour)) {
@@ -339,7 +340,7 @@ func (h *harness) checkMeter(now time.Time) {
 	for _, id := range ids {
 		run := runs[id]
 		if !run[0].MinimumApplied {
-			h.failf(now, "cluster %d: run-opening segment lacks the 60s-minimum marker", id)
+			h.failf(now, "cluster %d: run-opening segment lacks the run-start marker", id)
 		}
 		var billed time.Duration
 		for i, s := range run {
@@ -356,8 +357,9 @@ func (h *harness) checkMeter(now time.Time) {
 				}
 			}
 		}
-		if billed+slack < cdw.MinBilledClusterTime {
-			h.failf(now, "cluster %d: run billed only %s, under the 60s minimum", id, billed)
+		if rule.MinPerStart > 0 && billed+slack < rule.MinPerStart {
+			h.failf(now, "cluster %d: run billed only %s, under the %s per-start minimum",
+				id, billed, rule.MinPerStart)
 		}
 	}
 }

@@ -116,6 +116,12 @@ func (f Fault) describe() string {
 type Scenario struct {
 	Seed   int64
 	Params cdw.SimParams
+	// Backend names the CDW backend the account runs on; empty means the
+	// default (Snowflake) backend. Generated scenarios always leave it
+	// empty — multi-cluster generation assumes Snowflake semantics — but
+	// targeted tests (and the backend conformance suite) set it to drive
+	// the harness's invariant sweeps against other providers.
+	Backend string
 
 	Warehouse cdw.Config
 	Slider    policy.Slider

@@ -37,8 +37,17 @@ func NewSimulation(seed int64) *Simulation {
 // NewSimulationWithParams creates a simulation with custom CDW
 // constants (concurrency, resume delays, cache behaviour, …).
 func NewSimulationWithParams(seed int64, params SimParams) *Simulation {
+	return NewSimulationWithBackend(seed, params, nil)
+}
+
+// NewSimulationWithBackend creates a simulation whose account runs on a
+// specific CDW backend (see BackendByName); nil means the default
+// Snowflake-shaped backend. The backend decides which configuration
+// knobs exist, how billing is quantized, and how slowly capacity
+// provisions; everything else about the simulation is unchanged.
+func NewSimulationWithBackend(seed int64, params SimParams, b Backend) *Simulation {
 	sched := simclock.NewScheduler(seed)
-	acct := cdw.NewAccount(sched, params)
+	acct := cdw.NewAccountWithBackend(sched, params, b)
 	store := telemetry.NewStore()
 	// One observability hub spans the whole stack: the account reports
 	// injected faults and audit writes, the store reports telemetry

@@ -3,6 +3,7 @@ package kwo
 import (
 	"kwo/internal/actuator"
 	"kwo/internal/cdw"
+	"kwo/internal/cdw/backend"
 	"kwo/internal/core"
 	"kwo/internal/policy"
 	"kwo/internal/pricing"
@@ -40,7 +41,44 @@ type (
 	FaultWindow = cdw.FaultWindow
 	// FaultCounts tallies injected API faults.
 	FaultCounts = cdw.FaultCounts
+	// Backend is one CDW provider's control-plane surface: capability
+	// set, billing quantization, provisioning delays, and metering
+	// granularity.
+	Backend = backend.Backend
+	// BackendCapability is one optional control-plane feature a backend
+	// may or may not support.
+	BackendCapability = backend.Capability
+	// BillingRule is a backend's billing quantization (per-start minimum
+	// and round-up quantum).
+	BillingRule = backend.BillingRule
+	// CapabilityError reports an ALTER or configuration that depends on
+	// a feature the backend does not have. It is permanent: retries can
+	// never succeed.
+	CapabilityError = cdw.CapabilityError
 )
+
+// Backend capabilities.
+const (
+	CapAutoSuspend  = backend.CapAutoSuspend
+	CapAutoResume   = backend.CapAutoResume
+	CapMultiCluster = backend.CapMultiCluster
+	CapResize       = backend.CapResize
+)
+
+// DefaultBackend returns the default (Snowflake-shaped) backend.
+func DefaultBackend() Backend { return cdw.DefaultBackend() }
+
+// BackendByName resolves a registered backend ("snowflake", "bigquery",
+// "redshift"); the empty string resolves to the default backend.
+func BackendByName(name string) (Backend, error) { return cdw.BackendByName(name) }
+
+// BackendNames lists the registered backend names in sorted order.
+func BackendNames() []string { return cdw.BackendNames() }
+
+// IsCapabilityError reports whether err is (or wraps) a
+// CapabilityError — the permanent "this backend has no such knob"
+// rejection.
+func IsCapabilityError(err error) bool { return cdw.IsCapabilityError(err) }
 
 // Warehouse sizes.
 const (
