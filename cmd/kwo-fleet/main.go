@@ -8,6 +8,7 @@
 //
 //	kwo-fleet -tenants 16 -epochs 48 -seed 7
 //	kwo-fleet -tenants 64 -workers 8 -fault-rate 0.2 -format csv
+//	kwo-fleet -slo degraded-time=0.1,savings-floor=0.02
 //	kwo-fleet -obs-addr 127.0.0.1:9090 -obs-hold 30s
 //	kwo-fleet -tenant 12 -seed 7            # replay tenant 12 standalone
 //	kwo-fleet -tenant-seed 4242424242       # replay by derived seed
@@ -30,6 +31,44 @@ import (
 	"kwo"
 )
 
+// parseSLO decodes the -slo flag: comma-separated key=value pairs
+// naming objective thresholds. Unset keys keep their defaults.
+func parseSLO(s string) kwo.FleetSLO {
+	var cfg kwo.FleetSLO
+	if s == "" {
+		return cfg
+	}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("kwo-fleet: -slo: %q is not key=value", pair)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			log.Fatalf("kwo-fleet: -slo: %q: %v", pair, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "enforcement-sla":
+			cfg.MaxAbandonRatio = v
+		case "degraded-time":
+			cfg.MaxDegradedRatio = v
+		case "p99-factor":
+			cfg.P99BandFactor = v
+		case "p99-ratio":
+			cfg.MaxP99BandRatio = v
+		case "savings-floor":
+			cfg.MinSavingsShare = v
+		default:
+			log.Fatalf("kwo-fleet: -slo: unknown key %q (enforcement-sla, degraded-time, p99-factor, p99-ratio, savings-floor)", key)
+		}
+	}
+	return cfg
+}
+
 func main() {
 	tenants := flag.Int("tenants", 8, "number of independent tenants")
 	seed := flag.Int64("seed", 1, "fleet seed; tenant i runs under its own derived split")
@@ -40,6 +79,8 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "probability a tenant lives behind an unreliable control-plane API")
 	backends := flag.String("backends", "", "comma-separated CDW backend pool tenants draw from (snowflake, bigquery, redshift); empty = all snowflake")
 	topK := flag.Int("top", 5, "how many regressed tenants the rollup highlights")
+	slo := flag.String("slo", "", "SLO thresholds as key=value pairs (enforcement-sla, degraded-time, p99-factor, p99-ratio, savings-floor); empty = defaults")
+	seriesBudget := flag.Int("series-budget", 0, "max points per recorded time series (0 = 64)")
 	format := flag.String("format", "text", "rollup output: text, csv, json")
 	obsAddr := flag.String("obs-addr", "", "serve the fleet ops endpoint (merged /metrics, /events) on this address")
 	obsHold := flag.Duration("obs-hold", 0, "keep the process alive this long after the run (requires -obs-addr)")
@@ -81,14 +122,16 @@ func main() {
 	}
 
 	cfg := kwo.FleetConfig{
-		Tenants:     *tenants,
-		Seed:        *seed,
-		Workers:     *workers,
-		Epochs:      *epochs,
-		EpochLen:    *epochLen,
-		AttachEpoch: *attachEpoch,
-		FaultRate:   *faultRate,
-		TopK:        *topK,
+		Tenants:      *tenants,
+		Seed:         *seed,
+		Workers:      *workers,
+		Epochs:       *epochs,
+		EpochLen:     *epochLen,
+		AttachEpoch:  *attachEpoch,
+		FaultRate:    *faultRate,
+		TopK:         *topK,
+		SLO:          parseSLO(*slo),
+		SeriesBudget: *seriesBudget,
 	}
 	if *backends != "" {
 		for _, name := range strings.Split(*backends, ",") {
@@ -126,6 +169,14 @@ func main() {
 			kpi.ActualCredits, kpi.WithoutKeebo, kpi.SavingsPercent)
 		fmt.Printf("  events:    %d (fingerprint %s)\n", kpi.ObsEvents, kpi.EventsFingerprint)
 		fmt.Printf("  snapshot:  %s\n", kpi.SnapshotFingerprint)
+		for _, v := range kpi.SLO {
+			state := "pass"
+			if !v.Pass {
+				state = "FAIL"
+			}
+			fmt.Printf("  slo:       %-16s %s value %.4f target %.4f burn %.2f %s\n",
+				v.Objective, state, v.Value, v.Target, v.Burn, v.Detail)
+		}
 		return
 	}
 

@@ -5,10 +5,17 @@
 // zero, so absence always means a wiring regression, never "nothing
 // happened yet").
 //
+// With -tenants N the target is a kwo-fleet merged exposition: beyond
+// the catalog check, every family must carry at least one sample for
+// every tenant label t00..tNN — the fleet primes each tenant's registry
+// at provisioning, so a missing (tenant, family) pair means the merge
+// or the priming regressed, never timing.
+//
 // Usage:
 //
 //	kwo-obscheck -url http://127.0.0.1:9090/metrics
 //	kwo-obscheck -url ... -nonzero kwo_decision_ticks_total,kwo_actions_applied_total
+//	kwo-obscheck -url ... -tenants 8
 package main
 
 import (
@@ -21,8 +28,19 @@ import (
 	"strings"
 	"time"
 
+	"kwo/internal/fleet"
 	"kwo/internal/obs"
 )
+
+// sampleName maps a catalog family to a concrete sample name in the
+// exposition: histograms never emit a bare-name sample, so their
+// presence is checked through the _count series.
+func sampleName(spec obs.MetricSpec) string {
+	if spec.Type == obs.TypeHistogram {
+		return spec.Name + "_count"
+	}
+	return spec.Name
+}
 
 func fetch(url string, attempts int, delay time.Duration) ([]byte, error) {
 	var lastErr error
@@ -55,6 +73,7 @@ func main() {
 	attempts := flag.Int("attempts", 20, "fetch attempts before giving up (endpoint may still be starting)")
 	delay := flag.Duration("delay", 500*time.Millisecond, "delay between fetch attempts")
 	nonzero := flag.String("nonzero", "", "comma-separated counter families whose summed value must be > 0")
+	tenants := flag.Int("tenants", 0, "fleet mode: require every catalog family to carry a sample for each of N tenant labels")
 	flag.Parse()
 
 	// The -nonzero families only accumulate as the instrumented run
@@ -83,6 +102,24 @@ func main() {
 				len(missing), *url, strings.Join(missing, "\n  "))
 		}
 
+		// Fleet mode: every catalog family must carry a sample for every
+		// tenant label. Fail fast — tenants prime their registries at
+		// provisioning time, so this is never a matter of timing.
+		if *tenants > 0 {
+			var gaps []string
+			for _, id := range fleet.TenantIDs(*tenants) {
+				for _, spec := range obs.Catalog() {
+					if !parsed.HasSeriesWithLabel(sampleName(spec), fleet.TenantLabel, id) {
+						gaps = append(gaps, fmt.Sprintf("%s %s", id, spec.Name))
+					}
+				}
+			}
+			if len(gaps) > 0 {
+				log.Fatalf("obscheck: %d (tenant, family) pairs missing from merged exposition %s:\n  %s",
+					len(gaps), *url, strings.Join(gaps, "\n  "))
+			}
+		}
+
 		var zero []string
 		if *nonzero != "" {
 			for _, name := range strings.Split(*nonzero, ",") {
@@ -107,4 +144,8 @@ func main() {
 
 	fmt.Fprintf(os.Stdout, "obscheck: OK — %d cataloged families present, exposition parses clean\n",
 		len(obs.Catalog()))
+	if *tenants > 0 {
+		fmt.Fprintf(os.Stdout, "obscheck: OK — all %d families sampled for each of %d tenants\n",
+			len(obs.Catalog()), *tenants)
+	}
 }

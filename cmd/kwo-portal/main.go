@@ -11,6 +11,14 @@
 //	curl localhost:8080/api/v1/warehouses
 //	curl localhost:8080/api/v1/warehouses/BI_WH/report?from=-24h
 //	curl -X PUT -d '{"position":5}' localhost:8080/api/v1/warehouses/BI_WH/slider
+//
+// With -fleet-url the portal instead renders the fleet view over a
+// running kwo-fleet ops endpoint (sparklines, SLO/error-budget table,
+// replay drill-downs); add -once to print a single snapshot and exit:
+//
+//	kwo-fleet -tenants 8 -obs-addr 127.0.0.1:9090 -obs-hold 10m &
+//	kwo-portal -fleet-url http://127.0.0.1:9090 -once
+//	kwo-portal -fleet-url http://127.0.0.1:9090 -listen :8080
 package main
 
 import (
@@ -27,7 +35,17 @@ func main() {
 	listen := flag.String("listen", ":8080", "address to serve the API on")
 	speedup := flag.Float64("speedup", 3600, "virtual seconds per wall second")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	fleetURL := flag.String("fleet-url", "", "render the fleet view over this kwo-fleet ops endpoint instead of serving the single-tenant API")
+	once := flag.Bool("once", false, "with -fleet-url: print one fleet view to stdout and exit")
 	flag.Parse()
+
+	if *fleetURL != "" {
+		fleetMain(*fleetURL, *listen, *once)
+		return
+	}
+	if *once {
+		log.Fatal("kwo-portal: -once requires -fleet-url")
+	}
 
 	sim := kwo.NewSimulation(*seed)
 	if _, err := sim.CreateWarehouse(kwo.WarehouseConfig{

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kwo/internal/fleet"
+	"kwo/internal/obs"
 )
 
 // Fleet-scale multi-tenant running: a Fleet provisions N independent
@@ -20,6 +21,23 @@ type (
 	FleetReport = fleet.Report
 	// TenantKPI is one tenant's row in the fleet rollup.
 	TenantKPI = fleet.TenantKPI
+	// FleetSLO holds the fleet's SLO thresholds (FleetConfig.SLO); zero
+	// fields take the documented defaults.
+	FleetSLO = obs.SLOConfig
+	// SLOVerdict is one evaluated SLO objective: value, target,
+	// pass/fail, and error-budget burn.
+	SLOVerdict = obs.Verdict
+	// FleetLiveKPIs is the /fleet/kpis payload.
+	FleetLiveKPIs = fleet.LiveKPIs
+	// FleetTenantLive is one tenant's row in the /fleet/kpis payload.
+	FleetTenantLive = fleet.TenantLive
+	// ObsSeriesDump is the compact JSON encoding of one recorded time
+	// series ([unix_seconds, value] points).
+	ObsSeriesDump = obs.SeriesDump
+	// FleetTimeSeries is the /fleet/timeseries payload.
+	FleetTimeSeries = fleet.FleetTimeSeries
+	// FleetSLOStatus is the /fleet/slo payload.
+	FleetSLOStatus = fleet.SLOStatus
 )
 
 // Fleet is a provisioned multi-tenant run.
@@ -54,8 +72,19 @@ func (f *Fleet) Now() time.Time { return f.f.Now() }
 
 // ObsHandler returns the fleet ops HTTP handler: every tenant's
 // metrics merged into one /metrics exposition behind a tenant label,
-// plus /events and /healthz.
+// plus /events, the /fleet/kpis | /fleet/timeseries | /fleet/slo JSON
+// payloads, and /healthz.
 func (f *Fleet) ObsHandler() http.Handler { return fleet.Handler(f.f) }
+
+// KPIs returns the live fleet KPI payload (the /fleet/kpis body).
+func (f *Fleet) KPIs() FleetLiveKPIs { return f.f.KPIs() }
+
+// TimeSeries returns the recorded epoch series (the /fleet/timeseries
+// body).
+func (f *Fleet) TimeSeries() FleetTimeSeries { return f.f.TimeSeries() }
+
+// SLOStatus returns per-tenant SLO verdicts (the /fleet/slo body).
+func (f *Fleet) SLOStatus() FleetSLOStatus { return f.f.SLOStatus() }
 
 // FleetTenantSeed derives tenant idx's simulation seed from a fleet
 // seed. ReplayFleetTenant (or `kwo-fleet -tenant-seed`) runs that

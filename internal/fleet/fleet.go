@@ -61,6 +61,14 @@ type Config struct {
 	// TopK is how many regressed tenants the rollup highlights
 	// (default 5).
 	TopK int
+	// SLO holds the fleet's service-level-objective thresholds; zero
+	// fields take the obs.SLOConfig defaults. Objectives are evaluated
+	// per tenant over the recorded epoch series.
+	SLO obs.SLOConfig
+	// SeriesBudget bounds how many points each recorded time series
+	// retains; when full, the series halves itself by merging adjacent
+	// points (the stride doubles). 0 means 64; must not be negative.
+	SeriesBudget int
 	// Opts tunes every tenant's engine; the zero value means
 	// core.DefaultOptions(). Options.Obs is ignored — each tenant gets
 	// its own hub.
@@ -124,6 +132,13 @@ func (c Config) withDefaults() (Config, error) {
 	if c.TopK <= 0 {
 		c.TopK = 5
 	}
+	if c.SeriesBudget < 0 {
+		return c, fmt.Errorf("fleet: SeriesBudget must not be negative, got %d", c.SeriesBudget)
+	}
+	if c.SeriesBudget == 0 {
+		c.SeriesBudget = 64
+	}
+	c.SLO = c.SLO.WithDefaults()
 	if c.Opts.DecideEvery == 0 {
 		c.Opts = core.DefaultOptions()
 	}
@@ -140,6 +155,7 @@ type Fleet struct {
 	cfg     Config
 	tenants []*tenant
 	pool    *experiments.Pool
+	plane   *obsPlane
 	start   time.Time
 	epoch   int
 	done    bool
@@ -171,6 +187,7 @@ func New(cfg Config) (*Fleet, error) {
 		f.tenants[i] = newTenant(i, ids[i], TenantSeed(cfg.Seed, i), cfg)
 	})
 	f.start = f.tenants[0].start
+	f.plane = newObsPlane(cfg, f.start)
 	return f, nil
 }
 
@@ -193,6 +210,11 @@ func (f *Fleet) fanout(n int, fn func(i int)) {
 // fleet remains usable afterwards (fan-outs run inline), so an ops
 // handler holding the fleet for /metrics scrapes stays safe.
 func (f *Fleet) Close() { f.pool.Close() }
+
+// TenantIDs returns the zero-padded stable tenant labels a fleet of n
+// tenants uses (t00 … t63) — exported so tooling (kwo-obscheck
+// -tenants) can enumerate the labels a merged exposition must carry.
+func TenantIDs(n int) []string { return tenantIDs(n) }
 
 // tenantIDs returns zero-padded stable tenant labels: t00 … t63.
 func tenantIDs(n int) []string {
@@ -238,6 +260,10 @@ func (f *Fleet) RunEpoch() error {
 				f.epoch, t.id, t.sched.Now(), target)
 		}
 	}
+	// Epoch-boundary observation: per-tenant recorder samples plus the
+	// fleet-aggregate fold, sequential in tenant-index order so the
+	// series are byte-identical for any worker count.
+	f.plane.record(target, f.epoch, f.tenants)
 	return nil
 }
 
@@ -255,6 +281,7 @@ func (f *Fleet) Run() (*Report, error) {
 		f.fanout(len(f.tenants), func(i int) {
 			f.tenants[i].finalize()
 		})
+		f.plane.setDone()
 	}
 	return f.report(), nil
 }
@@ -296,7 +323,12 @@ func ReplayTenant(seed int64, cfg Config) (TenantKPI, error) {
 	}
 	t := newTenant(0, "t00", seed, cfg)
 	for e := 0; e < cfg.Epochs; e++ {
-		t.advanceTo(t.start.Add(time.Duration(e+1) * cfg.EpochLen))
+		boundary := t.start.Add(time.Duration(e+1) * cfg.EpochLen)
+		t.advanceTo(boundary)
+		// Same epoch-boundary sample the in-fleet run takes, so the
+		// replayed tenant's series — and the SLO verdicts evaluated over
+		// them — match the fleet's bit for bit.
+		t.rec.Sample(boundary)
 	}
 	t.finalize()
 	return t.kpi(), nil

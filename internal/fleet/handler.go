@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -17,15 +18,20 @@ const TenantLabel = "tenant"
 //
 //	/metrics          merged Prometheus exposition of every tenant's
 //	                  registry, each sample behind tenant="tNN"
-//	/events           recent trace events (?tenant=, ?n=, ?kind=);
+//	/events           recent trace events (?tenant=, ?n=, ?kind=a,b);
 //	                  without ?tenant= all tenants are emitted in
 //	                  index order
+//	/fleet/kpis       live fleet + per-tenant KPIs with SLO verdicts
+//	/fleet/timeseries recorded epoch series (fleet aggregate + per
+//	                  tenant), downsampled to the point budget
+//	/fleet/slo        per-tenant SLO verdicts, burn, and replay links
 //	/healthz          liveness probe
 //	/                 plain-text index
 //
 // All endpoints are read-only and safe to scrape while the fleet is
-// advancing: registries and buses carry their own locks, and the
-// tenant list is immutable after New.
+// advancing: registries and buses carry their own locks, the tenant
+// list is immutable after New, and the /fleet/* payloads serialize on
+// the observability plane's lock against epoch-boundary sampling.
 func Handler(f *Fleet) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -44,7 +50,7 @@ func Handler(f *Fleet) http.Handler {
 			}
 			n = v
 		}
-		kind := obs.EventKind(r.URL.Query().Get("kind"))
+		kinds := obs.ParseKindFilter(r.URL.Query().Get("kind"))
 		want := r.URL.Query().Get(TenantLabel)
 		var b strings.Builder
 		found := false
@@ -54,7 +60,7 @@ func Handler(f *Fleet) http.Handler {
 			}
 			found = true
 			for _, ev := range t.hub.Bus.Recent(n) {
-				if kind != "" && ev.Kind != kind {
+				if !kinds.Match(ev.Kind) {
 					continue
 				}
 				b.WriteString(ev.JSON())
@@ -68,6 +74,15 @@ func Handler(f *Fleet) http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		fmt.Fprint(w, b.String())
 	})
+	mux.HandleFunc("/fleet/kpis", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, f.KPIs())
+	})
+	mux.HandleFunc("/fleet/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, f.TimeSeries())
+	})
+	mux.HandleFunc("/fleet/slo", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, f.SLOStatus())
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -76,8 +91,19 @@ func Handler(f *Fleet) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "kwo fleet ops endpoint (%d tenants)\n\n/metrics\n/events?tenant=t00&n=100&kind=\n/healthz\n",
+		fmt.Fprintf(w, "kwo fleet ops endpoint (%d tenants)\n\n/metrics\n/events?tenant=t00&n=100&kind=a,b\n/fleet/kpis\n/fleet/timeseries\n/fleet/slo\n/healthz\n",
 			len(f.tenants))
 	})
 	return mux
+}
+
+// writeJSON renders a /fleet/* payload as deterministic indented JSON
+// (encoding/json sorts map keys and uses shortest round-trip floats).
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(w, "\n// encode error: %v\n", err)
+	}
 }

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"kwo/internal/obs"
+)
+
+// planePayloads runs a fleet to completion and returns the JSON
+// encoding of all three /fleet/* payloads, concatenated — the byte
+// surface the determinism property is asserted over.
+func planePayloads(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, v := range []any{f.KPIs(), f.TimeSeries(), f.SLOStatus()} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatalf("encode payload: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestObsPlaneDeterminismAcrossWorkers extends the fleet's core
+// determinism property to the observability plane: the recorded time
+// series, live KPIs, and SLO verdicts must be byte-identical JSON for
+// any worker pool size. Sampling happens sequentially in tenant-index
+// order on the epoch barrier, so worker count can only change goroutine
+// interleavings, never a recorded point or a burn value.
+func TestObsPlaneDeterminismAcrossWorkers(t *testing.T) {
+	cfg := testConfig(8, 1)
+	base := planePayloads(t, cfg)
+	sweep := []int{4, 16}
+	if *fleetWorkers > 0 {
+		sweep = []int{*fleetWorkers}
+	}
+	for _, w := range sweep {
+		c := cfg
+		c.Workers = w
+		got := planePayloads(t, c)
+		if !bytes.Equal(got, base) {
+			i := 0
+			for i < len(got) && i < len(base) && got[i] == base[i] {
+				i++
+			}
+			lo, hi := i-40, i+40
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(base) {
+				hi = len(base)
+			}
+			t.Fatalf("workers=%d plane payloads diverge from workers=1 at byte %d: ...%s...",
+				w, i, base[lo:hi])
+		}
+	}
+}
+
+// TestReplaySLOMatchesFleet extends the replay contract to the SLO
+// layer: a tenant replayed standalone under its derived seed must carry
+// the exact verdicts (value, target, burn, pass) it earned in-fleet —
+// the portal's drill-down from a fleet SLO breach to a reproducible
+// single run depends on this.
+func TestReplaySLOMatchesFleet(t *testing.T) {
+	cfg := testConfig(8, 4)
+	rep := runFleet(t, cfg)
+	for _, idx := range []int{0, 5} {
+		in := rep.PerTenant[idx]
+		got, err := ReplayTenant(TenantSeed(cfg.Seed, idx), cfg)
+		if err != nil {
+			t.Fatalf("ReplayTenant(%d): %v", idx, err)
+		}
+		if got.SLOPass != in.SLOPass || got.SLOWorstBurn != in.SLOWorstBurn {
+			t.Errorf("tenant %d replay SLO pass=%t burn=%g != in-fleet pass=%t burn=%g",
+				idx, got.SLOPass, got.SLOWorstBurn, in.SLOPass, in.SLOWorstBurn)
+		}
+		inJSON, _ := json.Marshal(in.SLO)
+		gotJSON, _ := json.Marshal(got.SLO)
+		if !bytes.Equal(inJSON, gotJSON) {
+			t.Errorf("tenant %d replay verdicts diverged:\n in-fleet: %s\n replay:   %s",
+				idx, inJSON, gotJSON)
+		}
+	}
+}
+
+// TestHandlerFleetEndpoints checks the three /fleet/* endpoints decode
+// back into their DTOs with the fields the portal renders.
+func TestHandlerFleetEndpoints(t *testing.T) {
+	cfg := testConfig(3, 2)
+	cfg.Epochs = 6
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h := Handler(f)
+
+	var kpis LiveKPIs
+	code, body := get(t, h, "/fleet/kpis")
+	if code != 200 {
+		t.Fatalf("/fleet/kpis status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &kpis); err != nil {
+		t.Fatalf("/fleet/kpis decode: %v", err)
+	}
+	if kpis.Tenants != 3 || !kpis.Done || kpis.Epoch != cfg.Epochs {
+		t.Errorf("kpis = tenants %d done %t epoch %d, want 3 true %d",
+			kpis.Tenants, kpis.Done, kpis.Epoch, cfg.Epochs)
+	}
+	if len(kpis.PerTenant) != 3 {
+		t.Fatalf("kpis rows = %d, want 3", len(kpis.PerTenant))
+	}
+	for _, row := range kpis.PerTenant {
+		if !strings.Contains(row.Replay, "-tenant ") || !strings.Contains(row.Replay, "-tenant-seed ") {
+			t.Errorf("tenant %s replay command incomplete: %q", row.Tenant, row.Replay)
+		}
+		if len(row.Last) != len(obs.FleetSpecs()) {
+			t.Errorf("tenant %s last values = %d, want %d", row.Tenant, len(row.Last), len(obs.FleetSpecs()))
+		}
+	}
+
+	var ts FleetTimeSeries
+	code, body = get(t, h, "/fleet/timeseries")
+	if code != 200 {
+		t.Fatalf("/fleet/timeseries status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &ts); err != nil {
+		t.Fatalf("/fleet/timeseries decode: %v", err)
+	}
+	if len(ts.Fleet) != len(obs.FleetSpecs()) {
+		t.Errorf("fleet series = %d, want %d", len(ts.Fleet), len(obs.FleetSpecs()))
+	}
+	for _, s := range ts.Fleet {
+		if len(s.Points) == 0 || len(s.Points) > ts.Budget {
+			t.Errorf("fleet series %s has %d points (budget %d)", s.Name, len(s.Points), ts.Budget)
+		}
+	}
+	if len(ts.PerTenant) != 3 {
+		t.Errorf("tenant series sets = %d, want 3", len(ts.PerTenant))
+	}
+
+	var slo SLOStatus
+	code, body = get(t, h, "/fleet/slo")
+	if code != 200 {
+		t.Fatalf("/fleet/slo status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &slo); err != nil {
+		t.Fatalf("/fleet/slo decode: %v", err)
+	}
+	if slo.Passing+slo.Failing != 3 {
+		t.Errorf("slo passing %d + failing %d != 3 tenants", slo.Passing, slo.Failing)
+	}
+	if len(slo.Objectives) == 0 {
+		t.Error("slo payload carries no objectives")
+	}
+	for _, row := range slo.PerTenant {
+		if len(row.Verdicts) != len(slo.Objectives) {
+			t.Errorf("tenant %s has %d verdicts for %d objectives", row.Tenant, len(row.Verdicts), len(slo.Objectives))
+		}
+	}
+}
+
+// TestObsPlaneScrapeWhileAdvancing hammers the ops endpoints from a
+// second goroutine while the fleet advances epoch by epoch — under
+// -race this proves the plane lock actually covers every recorder and
+// series access the endpoints make.
+func TestObsPlaneScrapeWhileAdvancing(t *testing.T) {
+	cfg := testConfig(4, 2)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := Handler(f)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/fleet/kpis", "/fleet/timeseries", "/fleet/slo", "/metrics"} {
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+				if rr.Code != 200 {
+					t.Errorf("%s status %d while advancing", path, rr.Code)
+				}
+			}
+		}
+	}()
+	for e := 0; e < cfg.Epochs; e++ {
+		if err := f.RunEpoch(); err != nil {
+			t.Errorf("epoch %d: %v", e, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := f.Run(); err != nil {
+		t.Fatalf("Run after manual epochs: %v", err)
+	}
+	if k := f.KPIs(); !k.Done || k.Epoch != cfg.Epochs {
+		t.Errorf("final kpis done=%t epoch=%d, want true %d", k.Done, k.Epoch, cfg.Epochs)
+	}
+}
+
+// TestMergedExpositionPerTenantCatalog pins the contract behind
+// `kwo-obscheck -tenants`: straight after provisioning — before a
+// single epoch runs — the merged exposition carries at least one sample
+// of every catalog family for every tenant label, because each tenant's
+// hub is primed at New. Absence is always a wiring regression, never
+// "nothing happened yet".
+func TestMergedExpositionPerTenantCatalog(t *testing.T) {
+	cfg := testConfig(3, 2)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b strings.Builder
+	if err := obs.WriteMergedPrometheus(&b, TenantLabel, f.Registries()); err != nil {
+		t.Fatalf("WriteMergedPrometheus: %v", err)
+	}
+	parsed, err := obs.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	for _, id := range TenantIDs(cfg.Tenants) {
+		for _, spec := range obs.Catalog() {
+			name := spec.Name
+			if spec.Type == obs.TypeHistogram {
+				name += "_count"
+			}
+			if !parsed.HasSeriesWithLabel(name, TenantLabel, id) {
+				t.Errorf("merged exposition missing sample of %s for tenant %s", spec.Name, id)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"kwo/internal/cdw"
+	"kwo/internal/obs"
 )
 
 // TenantKPI is one tenant's row in the fleet rollup.
@@ -40,6 +41,12 @@ type TenantKPI struct {
 	ObsEvents           uint64 `json:"obs_events"`
 	EventsFingerprint   string `json:"events_fingerprint"`
 	SnapshotFingerprint string `json:"snapshot_fingerprint"`
+
+	// SLO verdicts evaluated over the tenant's recorded epoch series.
+	SLOPass      bool          `json:"slo_pass"`
+	SLOWorstBurn float64       `json:"slo_worst_burn"`
+	SLOFailed    []string      `json:"slo_failed,omitempty"`
+	SLO          []obs.Verdict `json:"slo,omitempty"`
 
 	Err string `json:"err,omitempty"`
 }
@@ -70,6 +77,10 @@ type Report struct {
 	FaultyTenants   int             `json:"faulty_tenants"`
 	TotalFaults     cdw.FaultCounts `json:"total_faults"`
 	ObsEvents       uint64          `json:"obs_events"`
+
+	SLOFailingTenants     int            `json:"slo_failing_tenants"`
+	SLOWorstBurn          float64        `json:"slo_worst_burn"`
+	SLOFailingByObjective map[string]int `json:"slo_failing_by_objective,omitempty"`
 
 	PerTenant    []TenantKPI `json:"per_tenant"`
 	TopRegressed []TenantKPI `json:"top_regressed"`
@@ -108,6 +119,18 @@ func rollup(cfg Config, kpis []TenantKPI) *Report {
 		if k.P99Latency > r.MaxP99 {
 			r.MaxP99 = k.P99Latency
 		}
+		if len(k.SLOFailed) > 0 {
+			r.SLOFailingTenants++
+			if r.SLOFailingByObjective == nil {
+				r.SLOFailingByObjective = make(map[string]int)
+			}
+			for _, name := range k.SLOFailed {
+				r.SLOFailingByObjective[name]++
+			}
+		}
+		if k.SLOWorstBurn > r.SLOWorstBurn {
+			r.SLOWorstBurn = k.SLOWorstBurn
+		}
 	}
 	if len(kpis) > 0 {
 		r.MeanP99 = p99Sum / time.Duration(len(kpis))
@@ -119,13 +142,22 @@ func rollup(cfg Config, kpis []TenantKPI) *Report {
 	return r
 }
 
-// topRegressed ranks tenants most-regressed-first: degraded tenants
-// ahead of healthy ones, then by lowest savings percent, then by worst
-// p99, then by index for a total (deterministic) order.
+// topRegressed ranks tenants most-regressed-first: SLO-breaching
+// tenants ahead of passing ones (worst error-budget burn first), then
+// degraded tenants ahead of healthy ones, then by lowest savings
+// percent, then by worst p99, then by index for a total (deterministic)
+// order.
 func topRegressed(kpis []TenantKPI, k int) []TenantKPI {
 	ranked := append([]TenantKPI(nil), kpis...)
 	sort.SliceStable(ranked, func(i, j int) bool {
 		a, b := ranked[i], ranked[j]
+		af, bf := len(a.SLOFailed) > 0, len(b.SLOFailed) > 0
+		if af != bf {
+			return af
+		}
+		if af && a.SLOWorstBurn != b.SLOWorstBurn {
+			return a.SLOWorstBurn > b.SLOWorstBurn
+		}
 		ad, bd := a.Degraded || a.DegradedTicks > 0, b.Degraded || b.DegradedTicks > 0
 		if ad != bd {
 			return ad
@@ -151,7 +183,7 @@ func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 const csvHeader = "tenant,index,seed,profile,queries,actual_credits,without_keebo_credits," +
 	"savings_credits,savings_percent,p99_ms,actions_applied,invoices,model_ready," +
 	"degraded,degraded_ticks,recoveries,alter_failures,alter_ack_losts,billing_failures," +
-	"obs_events,events_fingerprint,snapshot_fingerprint,err"
+	"obs_events,events_fingerprint,snapshot_fingerprint,slo_pass,slo_worst_burn,slo_failed,err"
 
 // WriteCSV renders the per-tenant rollup as deterministic CSV: fixed
 // column order, shortest-round-trip floats, one row per tenant in
@@ -160,14 +192,15 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString(csvHeader + "\n")
 	for _, k := range r.PerTenant {
-		fmt.Fprintf(&b, "%s,%d,%d,%s,%d,%s,%s,%s,%s,%s,%d,%d,%t,%t,%d,%d,%d,%d,%d,%d,%s,%s,%s\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%s,%d,%s,%s,%s,%s,%s,%d,%d,%t,%t,%d,%d,%d,%d,%d,%d,%s,%s,%t,%s,%s,%s\n",
 			k.Tenant, k.Index, k.Seed, k.Profile, k.Queries,
 			fmtFloat(k.ActualCredits), fmtFloat(k.WithoutKeebo), fmtFloat(k.Savings),
 			fmtFloat(k.SavingsPercent), fmtFloat(float64(k.P99Latency)/float64(time.Millisecond)),
 			k.ActionsApplied, k.Invoices, k.ModelReady,
 			k.Degraded, k.DegradedTicks, k.Recoveries,
 			k.Faults.AlterFailures, k.Faults.AlterAckLosts, k.Faults.BillingFailures,
-			k.ObsEvents, k.EventsFingerprint, k.SnapshotFingerprint, k.Err)
+			k.ObsEvents, k.EventsFingerprint, k.SnapshotFingerprint,
+			k.SLOPass, fmtFloat(k.SLOWorstBurn), strings.Join(k.SLOFailed, ";"), k.Err)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -206,6 +239,21 @@ func (r *Report) String() string {
 		r.DegradedTenants, r.Tenants, r.FaultyTenants,
 		r.TotalFaults.AlterFailures, r.TotalFaults.AlterAckLosts, r.TotalFaults.BillingFailures)
 	fmt.Fprintf(&b, "  events:   %10d trace events across tenant hubs\n", r.ObsEvents)
+	fmt.Fprintf(&b, "  slo:      %d/%d tenants passing (worst burn %.2f)",
+		r.Tenants-r.SLOFailingTenants, r.Tenants, r.SLOWorstBurn)
+	if len(r.SLOFailingByObjective) > 0 {
+		names := make([]string, 0, len(r.SLOFailingByObjective))
+		for name := range r.SLOFailingByObjective {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s×%d", name, r.SLOFailingByObjective[name]))
+		}
+		fmt.Fprintf(&b, "; failing: %s", strings.Join(parts, ", "))
+	}
+	b.WriteByte('\n')
 	if len(r.TopRegressed) > 0 {
 		fmt.Fprintf(&b, "  top regressed tenants:\n")
 		for _, k := range r.TopRegressed {
@@ -215,9 +263,14 @@ func (r *Report) String() string {
 			} else if k.DegradedTicks > 0 {
 				state = fmt.Sprintf("recovered(%d ticks)", k.DegradedTicks)
 			}
-			fmt.Fprintf(&b, "    %s  seed=%-20d savings %5.1f%%  p99 %-8v %-22s %s\n",
+			slo := "slo-pass"
+			if len(k.SLOFailed) > 0 {
+				slo = fmt.Sprintf("slo-fail(%s burn=%.2f)",
+					strings.Join(k.SLOFailed, ";"), k.SLOWorstBurn)
+			}
+			fmt.Fprintf(&b, "    %s  seed=%-20d savings %5.1f%%  p99 %-8v %-22s %-12s %s\n",
 				k.Tenant, k.Seed, k.SavingsPercent,
-				k.P99Latency.Round(10*time.Millisecond), state, k.Profile)
+				k.P99Latency.Round(10*time.Millisecond), state, slo, k.Profile)
 		}
 	}
 	fmt.Fprintf(&b, "  fingerprint: %s\n", r.Fingerprint())

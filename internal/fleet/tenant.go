@@ -211,6 +211,9 @@ type tenant struct {
 	hub    *obs.Hub
 	eng    *core.Engine
 	events *eventHasher
+	rec    *obs.Recorder
+	objs   []obs.Objective
+	slo    []obs.Verdict
 
 	start      time.Time
 	attachAt   time.Time
@@ -245,6 +248,19 @@ func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 	t.acct.SetObs(t.hub)
 	t.store.SetObs(t.hub)
 	t.acct.Subscribe(t.store)
+	// Prime one sample per catalog family under this tenant's warehouse
+	// label sets, register the epoch recorder, and pre-touch the SLO
+	// gauges — so the merged fleet exposition carries every family for
+	// every tenant from the first scrape (kwo-obscheck -tenants checks
+	// exactly this). Priming creates zero-valued series only; it cannot
+	// perturb behaviour or fingerprints.
+	t.hub.Prime(warehouseName)
+	t.rec = obs.NewRecorder(t.hub, obs.FleetSpecs(), cfg.SeriesBudget)
+	t.objs = cfg.SLO.Objectives()
+	for _, o := range t.objs {
+		t.hub.SLOBurn.With(o.Name)
+		t.hub.SLOPass.With(o.Name)
+	}
 
 	t.start = t.sched.Now()
 	horizon := time.Duration(cfg.Epochs) * cfg.EpochLen
@@ -330,11 +346,22 @@ func (t *tenant) provisionTo(target time.Time) {
 	}
 }
 
-// finalize stops the optimizer loops after the last epoch.
+// finalize stops the optimizer loops after the last epoch, evaluates
+// the tenant's SLO objectives over its recorded series, and mirrors the
+// verdicts onto the hub gauges. Evaluation is per-tenant pure
+// arithmetic, so running it inside the finalize fan-out is safe and the
+// standalone replay produces identical verdicts.
 func (t *tenant) finalize() {
 	if t.eng != nil {
 		t.eng.Stop()
 	}
+	t.slo = t.evalSLO()
+	obs.PublishSLO(t.hub, t.slo)
+}
+
+// evalSLO evaluates the tenant's objectives over its recorded series.
+func (t *tenant) evalSLO() []obs.Verdict {
+	return obs.Evaluate(t.objs, t.rec.Series)
 }
 
 // kpi rolls the tenant's run up into one report row.
@@ -374,6 +401,14 @@ func (t *tenant) kpi() TenantKPI {
 	}
 	k.ActionsApplied = t.eng.Actuator().AppliedCount()
 	k.Invoices = len(t.eng.Ledger().Invoices())
+	k.SLO = t.slo
+	if k.SLO == nil {
+		// kpi before finalize (mid-run scrape paths): evaluate live.
+		k.SLO = t.evalSLO()
+	}
+	k.SLOFailed = obs.FailedObjectives(k.SLO)
+	k.SLOPass = len(k.SLOFailed) == 0
+	k.SLOWorstBurn = obs.WorstBurn(k.SLO)
 	k.Faults = t.acct.FaultCounts()
 	k.ObsEvents = t.hub.Bus.Total()
 	k.EventsFingerprint = t.events.Sum()

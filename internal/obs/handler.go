@@ -8,6 +8,34 @@ import (
 	"strings"
 )
 
+// KindFilter matches event kinds against a comma-separated allowlist
+// (the ?kind= query parameter). The zero filter matches everything.
+type KindFilter struct {
+	kinds map[EventKind]bool
+}
+
+// ParseKindFilter builds a filter from a comma-separated list of kinds.
+// Empty input (or only empty elements) yields the match-all filter.
+func ParseKindFilter(csv string) KindFilter {
+	var f KindFilter
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if f.kinds == nil {
+			f.kinds = make(map[EventKind]bool)
+		}
+		f.kinds[EventKind(part)] = true
+	}
+	return f
+}
+
+// Match reports whether the filter admits kind.
+func (f KindFilter) Match(k EventKind) bool {
+	return f.kinds == nil || f.kinds[k]
+}
+
 // Handler serves the ops surface for a hub:
 //
 //	/metrics        Prometheus text exposition of the registry
@@ -37,11 +65,11 @@ func Handler(h *Hub) http.Handler {
 			}
 			n = v
 		}
-		kind := EventKind(r.URL.Query().Get("kind"))
+		kinds := ParseKindFilter(r.URL.Query().Get("kind"))
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		var b strings.Builder
 		for _, ev := range h.Bus.Recent(n) {
-			if kind != "" && ev.Kind != kind {
+			if !kinds.Match(ev.Kind) {
 				continue
 			}
 			ev.appendJSON(&b)
@@ -62,7 +90,7 @@ func Handler(h *Hub) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "kwo ops endpoint\n\n/metrics\n/events?n=100&kind=\n/healthz\n/debug/pprof/\n")
+		fmt.Fprint(w, "kwo ops endpoint\n\n/metrics\n/events?n=100&kind=a,b\n/healthz\n/debug/pprof/\n")
 	})
 	return mux
 }

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseKindFilter(t *testing.T) {
+	all := ParseKindFilter("")
+	if !all.Match(EventDecision) || !all.Match(EventInvoice) {
+		t.Fatal("empty filter must match everything")
+	}
+	if f := ParseKindFilter(" , ,"); !f.Match(EventDecision) {
+		t.Fatal("only-empty elements must yield the match-all filter")
+	}
+	f := ParseKindFilter("decision, invoice")
+	if !f.Match(EventDecision) || !f.Match(EventInvoice) {
+		t.Fatal("listed kinds must match")
+	}
+	if f.Match(EventActionApplied) {
+		t.Fatal("unlisted kind must not match")
+	}
+}
+
+// TestEventsEndpointKindFilter covers the comma-separated ?kind= filter
+// and the 400 on malformed ?n=.
+func TestEventsEndpointKindFilter(t *testing.T) {
+	hub := NewHub(fixedClock())
+	hub.Emit(EventInvoice, "W", AFloat("charge_credits", 1.25))
+	hub.Emit(EventDecision, "W", A("kind", "size-down"))
+	hub.Emit(EventActionApplied, "W", A("statement", "ALTER"))
+	h := Handler(hub)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		body, _ := io.ReadAll(rec.Result().Body)
+		return rec.Code, string(body)
+	}
+
+	code, body := get("/events?kind=invoice,decision")
+	if code != 200 {
+		t.Fatalf("multi-kind filter: code %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("multi-kind filter returned %d lines: %q", len(lines), body)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, `"kind":"invoice"`) && !strings.Contains(line, `"kind":"decision"`) {
+			t.Fatalf("unexpected event admitted: %s", line)
+		}
+	}
+
+	if code, body := get("/events"); code != 200 ||
+		len(strings.Split(strings.TrimSpace(body), "\n")) != 3 {
+		t.Fatalf("unfiltered /events: code %d body %q", code, body)
+	}
+
+	if code, _ := get("/events?kind=no-such-kind"); code != 200 {
+		t.Fatalf("unknown kind must 200 with empty body, got %d", code)
+	}
+
+	for _, bad := range []string{"abc", "-1", "0", "1.5"} {
+		if code, _ := get("/events?n=" + bad); code != 400 {
+			t.Fatalf("/events?n=%s: code %d, want 400", bad, code)
+		}
+	}
+	if code, _ := get("/events?n=10"); code != 200 {
+		t.Fatalf("valid n rejected: %d", code)
+	}
+}

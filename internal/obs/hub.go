@@ -37,6 +37,10 @@ const (
 	MetricQueryLatency        = "kwo_query_latency_seconds"
 	MetricQueryQueue          = "kwo_query_queue_seconds"
 	MetricRetryBackoff        = "kwo_retry_backoff_seconds"
+	MetricSeriesLast          = "kwo_series_last"
+	MetricSeriesPoints        = "kwo_series_points"
+	MetricSLOBurn             = "kwo_slo_burn"
+	MetricSLOPass             = "kwo_slo_pass"
 )
 
 // Hub bundles the metrics registry and the event bus and pre-registers
@@ -91,6 +95,12 @@ type Hub struct {
 
 	// Bus self-metering.
 	EventsTotal *CounterVec // kind
+
+	// Time-series/SLO plane (Recorder and PublishSLO write these).
+	SeriesLast   *GaugeVec // series
+	SeriesPoints *GaugeVec // series
+	SLOBurn      *GaugeVec // objective
+	SLOPass      *GaugeVec // objective
 }
 
 // NewHub builds a hub whose timestamps come from clock — in a
@@ -169,7 +179,58 @@ func NewHub(clock func() time.Time) *Hub {
 
 	h.EventsTotal = r.NewCounterVec(MetricEvents,
 		"Events emitted on the trace bus, by kind.", "kind")
+
+	h.SeriesLast = r.NewGaugeVec(MetricSeriesLast,
+		"Latest sampled value of a recorded time series.", "series")
+	h.SeriesPoints = r.NewGaugeVec(MetricSeriesPoints,
+		"Retained point count of a recorded time series.", "series")
+	h.SLOBurn = r.NewGaugeVec(MetricSLOBurn,
+		"Error-budget burn of an SLO objective (1.0 = at target).", "objective")
+	h.SLOPass = r.NewGaugeVec(MetricSLOPass,
+		"1 while an SLO objective passes, 0 while it is breached.", "objective")
 	return h
+}
+
+// Prime touches one canonical series per labeled family so every
+// catalog family exposes at least one sample (at zero) from the first
+// scrape. The single-tenant ops endpoint doesn't need this — family
+// HELP/TYPE presence is enough — but the merged fleet exposition keys
+// per-tenant completeness checks (kwo-obscheck -tenants) on samples, so
+// each tenant hub primes its warehouse's label sets at provisioning.
+// Priming only creates zero-valued series; it never changes a value.
+func (h *Hub) Prime(warehouse string) {
+	h.DecisionTicks.With(warehouse)
+	h.DegradedTicks.With(warehouse)
+	h.DegradedTransitions.With(warehouse, "enter")
+	h.Degraded.With(warehouse)
+	h.IngestFailures.With(warehouse)
+	h.Trainings.With(warehouse)
+	h.Replays.With(warehouse, "incremental")
+	h.CursorRebuilds.With(warehouse)
+	h.Invoices.With(warehouse)
+	h.InvoiceActual.With(warehouse)
+	h.InvoiceSavings.With(warehouse)
+	h.InvoiceCharge.With(warehouse)
+	h.ActionsApplied.With(warehouse, "smart-model")
+	h.ActionAttempts.With(warehouse)
+	h.ActionRetries.With(warehouse)
+	h.ActionFailures.With(warehouse, "transient")
+	h.BreakerTransitions.With(warehouse, "open")
+	h.BreakerOpen.With(warehouse)
+	h.RetryPending.With(warehouse)
+	h.RetryBackoff.With(warehouse)
+	h.MonitorSpikes.With(warehouse, "latency")
+	h.MonitorReverts.With(warehouse)
+	h.BaselineP99.With(warehouse)
+	h.BaselineQPH.With(warehouse)
+	h.Queries.With(warehouse)
+	h.BillingHours.With(warehouse)
+	h.QueryLatency.With(warehouse)
+	h.QueryQueue.With(warehouse)
+	h.FaultsInjected.With("alter-fail")
+	h.ConfigChanges.With(warehouse, "kwo")
+	h.OverheadCredits.With("telemetry-pull")
+	h.EventsTotal.With("decision")
 }
 
 // Now returns the hub clock's current time.

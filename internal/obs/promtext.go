@@ -17,6 +17,9 @@ type ParsedMetrics struct {
 	// Samples maps a full sample name (including _bucket/_sum/_count
 	// suffixes) to its values, one per label set.
 	Samples map[string][]float64
+	// Labels maps a full sample name to each sample's decoded label
+	// set, parallel to Samples.
+	Labels map[string][]map[string]string
 }
 
 // Has reports whether a family was declared via # TYPE.
@@ -34,6 +37,17 @@ func (p *ParsedMetrics) Sum(name string) float64 {
 	return sum
 }
 
+// HasSeriesWithLabel reports whether any sample of name carries
+// label=value.
+func (p *ParsedMetrics) HasSeriesWithLabel(name, label, value string) bool {
+	for _, set := range p.Labels[name] {
+		if set[label] == value {
+			return true
+		}
+	}
+	return false
+}
+
 // ParseText parses the Prometheus text exposition format (the subset
 // WritePrometheus emits: HELP/TYPE comments and `name{labels} value`
 // samples, no timestamps). It is strict: any malformed line is an
@@ -42,6 +56,7 @@ func ParseText(r io.Reader) (*ParsedMetrics, error) {
 	out := &ParsedMetrics{
 		Types:   make(map[string]string),
 		Samples: make(map[string][]float64),
+		Labels:  make(map[string][]map[string]string),
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -67,11 +82,12 @@ func ParseText(r io.Reader) (*ParsedMetrics, error) {
 			}
 			continue
 		}
-		name, value, err := parseSample(line)
+		name, labels, value, err := parseSample(line)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %v", lineNo, err)
 		}
 		out.Samples[name] = append(out.Samples[name], value)
+		out.Labels[name] = append(out.Labels[name], labels)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -79,79 +95,112 @@ func ParseText(r io.Reader) (*ParsedMetrics, error) {
 	return out, nil
 }
 
-// parseSample splits `name{labels} value` (labels optional) and
-// validates the label block syntax.
-func parseSample(line string) (string, float64, error) {
+// parseSample splits `name{labels} value` (labels optional), validates
+// the label block syntax, and decodes the label set (nil when the
+// sample is unlabeled).
+func parseSample(line string) (string, map[string]string, float64, error) {
 	rest := line
 	brace := strings.IndexByte(rest, '{')
 	var name string
+	var labels map[string]string
 	if brace >= 0 {
 		name = rest[:brace]
 		end := strings.LastIndexByte(rest, '}')
 		if end < brace {
-			return "", 0, fmt.Errorf("unterminated label block: %q", line)
+			return "", nil, 0, fmt.Errorf("unterminated label block: %q", line)
 		}
-		if err := checkLabels(rest[brace+1 : end]); err != nil {
-			return "", 0, fmt.Errorf("%v in %q", err, line)
+		var err error
+		if labels, err = parseLabels(rest[brace+1 : end]); err != nil {
+			return "", nil, 0, fmt.Errorf("%v in %q", err, line)
 		}
 		rest = strings.TrimSpace(rest[end+1:])
 	} else {
 		sp := strings.IndexByte(rest, ' ')
 		if sp < 0 {
-			return "", 0, fmt.Errorf("no value: %q", line)
+			return "", nil, 0, fmt.Errorf("no value: %q", line)
 		}
 		name = rest[:sp]
 		rest = strings.TrimSpace(rest[sp+1:])
 	}
 	if name == "" || !validMetricName(name) {
-		return "", 0, fmt.Errorf("invalid metric name %q", name)
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
 	}
 	v, err := strconv.ParseFloat(rest, 64)
 	if err != nil {
-		return "", 0, fmt.Errorf("invalid value %q", rest)
+		return "", nil, 0, fmt.Errorf("invalid value %q", rest)
 	}
-	return name, v, nil
+	return name, labels, v, nil
 }
 
-func checkLabels(block string) error {
+func parseLabels(block string) (map[string]string, error) {
 	// name="value",name="value"; values are quoted with \-escapes.
+	labels := make(map[string]string)
 	i := 0
 	for i < len(block) {
 		eq := strings.IndexByte(block[i:], '=')
 		if eq < 0 {
-			return fmt.Errorf("label without =")
+			return nil, fmt.Errorf("label without =")
 		}
 		labelName := block[i : i+eq]
 		if labelName == "" || !validLabelName(labelName) {
-			return fmt.Errorf("invalid label name %q", labelName)
+			return nil, fmt.Errorf("invalid label name %q", labelName)
 		}
 		i += eq + 1
 		if i >= len(block) || block[i] != '"' {
-			return fmt.Errorf("unquoted label value")
+			return nil, fmt.Errorf("unquoted label value")
 		}
 		i++ // skip opening quote
+		start := i
 		for {
 			if i >= len(block) {
-				return fmt.Errorf("unterminated label value")
+				return nil, fmt.Errorf("unterminated label value")
 			}
 			if block[i] == '\\' {
 				i += 2
 				continue
 			}
 			if block[i] == '"' {
-				i++
 				break
 			}
 			i++
 		}
+		labels[labelName] = unescapeLabel(block[start:i])
+		i++ // skip closing quote
 		if i < len(block) {
 			if block[i] != ',' {
-				return fmt.Errorf("expected , between labels")
+				return nil, fmt.Errorf("expected , between labels")
 			}
 			i++
 		}
 	}
-	return nil
+	return labels, nil
+}
+
+// unescapeLabel reverses escapeLabel: \\ → \, \" → ", \n → newline.
+// Unknown escapes are kept verbatim (the strict check already accepted
+// the syntax; decoding stays total).
+func unescapeLabel(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case '\\', '"':
+			b.WriteByte(s[i])
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 func validMetricName(s string) bool {

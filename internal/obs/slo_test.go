@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// seriesMap builds a lookup over hand-made series.
+func seriesMap(m map[string]*Series) func(string) *Series {
+	return func(name string) *Series { return m[name] }
+}
+
+func mkSeries(name string, agg Agg, vals ...float64) *Series {
+	s := NewSeries(name, agg, 64)
+	for i, v := range vals {
+		s.Append(tick(i), v)
+	}
+	return s
+}
+
+func TestSLOConfigDefaults(t *testing.T) {
+	c := SLOConfig{}.WithDefaults()
+	if c.MaxAbandonRatio != 0.05 || c.MaxDegradedRatio != 0.25 ||
+		c.P99BandFactor != 3 || c.MaxP99BandRatio != 0.1 || c.MinSavingsShare != 0.05 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Explicit values survive.
+	c = SLOConfig{MaxAbandonRatio: 0.2}.WithDefaults()
+	if c.MaxAbandonRatio != 0.2 {
+		t.Fatalf("explicit threshold overwritten: %+v", c)
+	}
+}
+
+func TestObjectivesCoverDefaults(t *testing.T) {
+	objs := SLOConfig{}.Objectives()
+	want := []string{ObjectiveEnforcementSLA, ObjectiveDegradedTime, ObjectiveP99Band, ObjectiveSavingsFloor}
+	if len(objs) != len(want) {
+		t.Fatalf("got %d objectives, want %d", len(objs), len(want))
+	}
+	for i, o := range objs {
+		if o.Name != want[i] {
+			t.Fatalf("objective %d = %q, want %q", i, o.Name, want[i])
+		}
+	}
+}
+
+func TestEvaluateRatioUnder(t *testing.T) {
+	lookup := seriesMap(map[string]*Series{
+		"bad": mkSeries("bad", AggSum, 1, 0, 1),
+		"all": mkSeries("all", AggSum, 10, 10, 20),
+	})
+	o := Objective{Name: "r", Kind: RatioUnder, Num: []string{"bad"}, Den: []string{"all"}, Target: 0.1}
+	v := Evaluate([]Objective{o}, lookup)[0]
+	if !v.Pass || v.Value != 0.05 || v.Burn != 0.5 {
+		t.Fatalf("under-target: %+v", v)
+	}
+	o.Target = 0.01
+	v = Evaluate([]Objective{o}, lookup)[0]
+	if v.Pass || v.Burn != 5 {
+		t.Fatalf("over-target: %+v", v)
+	}
+}
+
+func TestEvaluateRatioOver(t *testing.T) {
+	lookup := seriesMap(map[string]*Series{
+		"sav":   mkSeries("sav", AggLast, 10),
+		"spend": mkSeries("spend", AggLast, 90),
+	})
+	o := Objective{Name: "floor", Kind: RatioOver,
+		Num: []string{"sav"}, Den: []string{"spend", "sav"}, Target: 0.05}
+	v := Evaluate([]Objective{o}, lookup)[0]
+	if !v.Pass || v.Value != 0.1 || v.Burn != 0.5 {
+		t.Fatalf("floor met: %+v", v)
+	}
+	// Zero savings against a positive floor burns at the cap, not +Inf.
+	lookup = seriesMap(map[string]*Series{
+		"sav":   mkSeries("sav", AggLast, 0),
+		"spend": mkSeries("spend", AggLast, 90),
+	})
+	v = Evaluate([]Objective{o}, lookup)[0]
+	if v.Pass || v.Burn != BurnCap {
+		t.Fatalf("zero savings: %+v", v)
+	}
+	if _, err := json.Marshal(v); err != nil {
+		t.Fatalf("capped burn must stay JSON-encodable: %v", err)
+	}
+}
+
+func TestEvaluateBandUnder(t *testing.T) {
+	lookup := seriesMap(map[string]*Series{
+		// Baseline 1.0 everywhere; subject breaches 3x at two of five
+		// eligible points (the 0-valued leading points are ineligible).
+		"p99": mkSeries("p99", AggMax, 0, 0, 1, 4, 1, 9, 1),
+		"ref": mkSeries("ref", AggMax, 0, 0, 1, 1, 1, 1, 1),
+	})
+	o := Objective{Name: "band", Kind: BandUnder, Series: "p99", Ref: "ref", Factor: 3, Target: 0.5}
+	v := Evaluate([]Objective{o}, lookup)[0]
+	if !v.Pass || v.Value != 0.4 {
+		t.Fatalf("band: %+v", v)
+	}
+	o.Target = 0.1
+	v = Evaluate([]Objective{o}, lookup)[0]
+	if v.Pass || v.Burn != 4 {
+		t.Fatalf("band breach: %+v", v)
+	}
+}
+
+func TestEvaluateNoDataPasses(t *testing.T) {
+	// An SLO cannot be breached by silence: empty or missing series pass
+	// with zero burn, for every kind.
+	empty := seriesMap(map[string]*Series{})
+	objs := SLOConfig{}.Objectives()
+	for _, v := range Evaluate(objs, empty) {
+		if !v.Pass || v.Burn != 0 {
+			t.Fatalf("no-data objective %s must pass with 0 burn: %+v", v.Objective, v)
+		}
+	}
+	// A denominator that exists but totals zero is also no-data.
+	lookup := seriesMap(map[string]*Series{
+		"bad": mkSeries("bad", AggSum, 5),
+		"all": mkSeries("all", AggSum, 0),
+	})
+	o := Objective{Name: "r", Kind: RatioUnder, Num: []string{"bad"}, Den: []string{"all"}, Target: 0.1}
+	if v := Evaluate([]Objective{o}, lookup)[0]; !v.Pass {
+		t.Fatalf("zero denominator: %+v", v)
+	}
+}
+
+func TestObjectiveKindJSONRoundTrip(t *testing.T) {
+	for _, k := range []ObjectiveKind{RatioUnder, RatioOver, BandUnder} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ObjectiveKind
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Fatalf("round-trip %v -> %s -> %v", k, b, got)
+		}
+	}
+	var k ObjectiveKind
+	if err := json.Unmarshal([]byte(`"nope"`), &k); err == nil {
+		t.Fatal("unknown kind must fail to decode")
+	}
+}
+
+func TestWorstBurnAndFailedObjectives(t *testing.T) {
+	vs := []Verdict{
+		{Objective: "a", Pass: true, Burn: 0.5},
+		{Objective: "b", Pass: false, Burn: 3},
+		{Objective: "c", Pass: false, Burn: 2},
+	}
+	if got := WorstBurn(vs); got != 3 {
+		t.Fatalf("WorstBurn = %v, want 3", got)
+	}
+	failed := FailedObjectives(vs)
+	if len(failed) != 2 || failed[0] != "b" || failed[1] != "c" {
+		t.Fatalf("FailedObjectives = %v", failed)
+	}
+	if WorstBurn(nil) != 0 || FailedObjectives(nil) != nil {
+		t.Fatal("nil verdicts must yield zero values")
+	}
+}
+
+func TestPublishSLO(t *testing.T) {
+	h := NewHub(func() time.Time { return time.Time{} })
+	PublishSLO(h, []Verdict{{Objective: "x", Pass: true, Burn: 0.25}})
+	if got := h.SLOBurn.With("x").Value(); got != 0.25 {
+		t.Fatalf("burn gauge = %v", got)
+	}
+	if got := h.SLOPass.With("x").Value(); got != 1 {
+		t.Fatalf("pass gauge = %v", got)
+	}
+	PublishSLO(nil, nil) // nil hub is a no-op
+}

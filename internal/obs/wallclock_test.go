@@ -25,6 +25,7 @@ func TestNoWallClockInInstrumentedPackages(t *testing.T) {
 		"../simclock",  // the clock itself must be purely seeded
 		"../pricing",   // invoices carry sim timestamps
 		"../simtest",   // the harness that asserts determinism
+		"../fleet",     // epoch sampling and the observability plane
 	}
 	for _, dir := range pkgs {
 		entries, err := os.ReadDir(dir)

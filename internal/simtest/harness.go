@@ -105,6 +105,7 @@ type harness struct {
 	store *telemetry.Store
 	eng   *core.Engine
 	hub   *obs.Hub
+	rec   *obs.Recorder
 	wh    *cdw.Warehouse
 	name  string
 
@@ -156,6 +157,10 @@ func RunScenario(sc Scenario) *Result {
 	h.hub = obs.NewHub(h.sched.Now)
 	h.acct.SetObs(h.hub)
 	h.store.SetObs(h.hub)
+	// A fleet-spec recorder sampled at every sweep: checkRecorder holds
+	// the time-series layer to exact conservation against the registry.
+	// The small budget forces many halving rounds over a long scenario.
+	h.rec = obs.NewRecorder(h.hub, obs.FleetSpecs(), 16)
 	h.acct.Subscribe(h.store)
 	h.acct.Subscribe(h)
 

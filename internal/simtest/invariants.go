@@ -113,6 +113,7 @@ func (h *harness) sweep(now time.Time) {
 	h.checkInvoices(now)
 	h.checkEnforcementSLA(now)
 	h.checkObsConsistency(now)
+	h.checkRecorder(now)
 }
 
 // checkObsConsistency holds the observability layer to the engine's
@@ -153,6 +154,52 @@ func (h *harness) checkObsConsistency(now time.Time) {
 	// Every emitted event increments kwo_obs_events_total{kind} once.
 	if got := reg.CounterSum(obs.MetricEvents); got != float64(bus.Total()) {
 		h.failf(now, "obs: %s sums to %g, event bus emitted %d", obs.MetricEvents, got, bus.Total())
+	}
+}
+
+// checkRecorder samples the fleet-standard recorder and holds the
+// time-series layer to exact conservation: a delta-sampled sum series,
+// however many halving rounds it has been through, must total exactly
+// the counter it was sampled from — downsampling is an aggregation,
+// never an approximation. SLO evaluation over those series must be
+// pure and keep burn inside [0, BurnCap] with pass ⇔ burn ≤ 1.
+func (h *harness) checkRecorder(now time.Time) {
+	if h.rec == nil {
+		return
+	}
+	h.rec.Sample(now)
+	reg := h.hub.Registry
+	conserved := []struct{ series, metric string }{
+		{obs.SeriesQueries, obs.MetricQueries},
+		{obs.SeriesDecisionTicks, obs.MetricDecisionTicks},
+		{obs.SeriesDegradedTicks, obs.MetricDegradedTicks},
+		{obs.SeriesActionAttempts, obs.MetricActionAttempts},
+	}
+	for _, c := range conserved {
+		s := h.rec.Series(c.series)
+		total, ok := s.Total()
+		if !ok {
+			h.failf(now, "recorder series %s empty after sampling", c.series)
+			continue
+		}
+		if want := reg.CounterSum(c.metric); total != want {
+			h.failf(now, "recorder series %s totals %g after downsampling, registry %s says %g",
+				c.series, total, c.metric, want)
+		}
+	}
+	objectives := obs.SLOConfig{}.Objectives()
+	verdicts := obs.Evaluate(objectives, h.rec.Series)
+	again := obs.Evaluate(objectives, h.rec.Series)
+	for i, v := range verdicts {
+		if v.Burn < 0 || v.Burn > obs.BurnCap {
+			h.failf(now, "slo %s burn %g outside [0, %g]", v.Objective, v.Burn, obs.BurnCap)
+		}
+		if v.Pass != (v.Burn <= 1) {
+			h.failf(now, "slo %s pass=%t disagrees with burn %g", v.Objective, v.Pass, v.Burn)
+		}
+		if again[i] != v {
+			h.failf(now, "slo evaluation is not pure: %+v then %+v", v, again[i])
+		}
 	}
 }
 
