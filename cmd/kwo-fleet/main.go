@@ -13,6 +13,9 @@
 //	kwo-fleet -tenant 12 -seed 7            # replay tenant 12 standalone
 //	kwo-fleet -tenant-seed 4242424242       # replay by derived seed
 //	kwo-fleet -tenants 256 -cpuprofile cpu.out -memprofile mem.out
+//	kwo-fleet -checkpoint-dir ckpt -checkpoint-every 8   # crash-safe run
+//	kwo-fleet -checkpoint-dir ckpt -resume               # resume after a crash
+//	kwo-fleet -alert-log alerts.jsonl -epoch-deadline 30s
 package main
 
 import (
@@ -86,6 +89,13 @@ func main() {
 	obsHold := flag.Duration("obs-hold", 0, "keep the process alive this long after the run (requires -obs-addr)")
 	tenantIdx := flag.Int("tenant", -1, "replay this tenant index standalone instead of running the fleet")
 	tenantSeed := flag.String("tenant-seed", "", "replay the tenant holding this derived seed standalone")
+	checkpointDir := flag.String("checkpoint-dir", "", "write epoch-aligned crash-recovery checkpoints into this directory")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in epochs (0 = 8; requires -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir instead of starting fresh")
+	alertLog := flag.String("alert-log", "", "append SLO breach/recovery and quarantine alerts to this JSONL file (delivery retries with backoff)")
+	epochDeadline := flag.Duration("epoch-deadline", 0, "quarantine a tenant whose epoch step exceeds this wall-clock bound (0 = off)")
+	panicTenant := flag.Int("panic-tenant", -1, "arm a panic probe on this tenant index (quarantine demo/testing)")
+	panicEpoch := flag.Int("panic-epoch", 0, "epoch in which armed panic probes fire (0 = attach epoch + 1)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go test convention)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
@@ -122,16 +132,37 @@ func main() {
 	}
 
 	cfg := kwo.FleetConfig{
-		Tenants:      *tenants,
-		Seed:         *seed,
-		Workers:      *workers,
-		Epochs:       *epochs,
-		EpochLen:     *epochLen,
-		AttachEpoch:  *attachEpoch,
-		FaultRate:    *faultRate,
-		TopK:         *topK,
-		SLO:          parseSLO(*slo),
-		SeriesBudget: *seriesBudget,
+		Tenants:         *tenants,
+		Seed:            *seed,
+		Workers:         *workers,
+		Epochs:          *epochs,
+		EpochLen:        *epochLen,
+		AttachEpoch:     *attachEpoch,
+		FaultRate:       *faultRate,
+		TopK:            *topK,
+		SLO:             parseSLO(*slo),
+		SeriesBudget:    *seriesBudget,
+		CheckpointDir:   *checkpointDir,
+		CheckpointEvery: *checkpointEvery,
+		EpochDeadline:   *epochDeadline,
+		PanicEpoch:      *panicEpoch,
+	}
+	if *epochDeadline > 0 {
+		cfg.Wall = time.Now
+	}
+	if *panicTenant >= 0 {
+		cfg.PanicTenants = []int{*panicTenant}
+	}
+	if *alertLog != "" {
+		af, err := os.OpenFile(*alertLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatalf("kwo-fleet: -alert-log: %v", err)
+		}
+		defer af.Close()
+		cfg.AlertSink = &kwo.RetryAlertSink{
+			Sink:  kwo.NewJSONLAlertSink(af),
+			Sleep: time.Sleep,
+		}
 	}
 	if *backends != "" {
 		for _, name := range strings.Split(*backends, ",") {
@@ -181,7 +212,30 @@ func main() {
 	}
 
 	wallStart := time.Now()
-	f, err := kwo.NewFleet(cfg)
+	var f *kwo.Fleet
+	var err error
+	if *resume {
+		if *checkpointDir == "" {
+			log.Fatal("kwo-fleet: -resume requires -checkpoint-dir")
+		}
+		cp, path, lerr := kwo.LatestFleetCheckpoint(*checkpointDir)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		// Resume replays the checkpointed epochs deterministically and
+		// verifies the replayed state against the snapshot before
+		// continuing; the finished run's fingerprint is byte-identical
+		// to one that was never interrupted. The merged config (the
+		// checkpoint's behaviour knobs over this process's operational
+		// flags) also feeds the closing banner.
+		cfg = cp.Config.Merge(cfg)
+		f, err = kwo.ResumeFleet(cp, cfg)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "[resumed from %s at epoch %d/%d]\n", path, f.Epoch(), cp.Config.Epochs)
+		}
+	} else {
+		f, err = kwo.NewFleet(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -77,8 +77,22 @@ func fetchFleet(c fleetClient) (kwo.FleetLiveKPIs, kwo.FleetTimeSeries, kwo.Flee
 
 // fleetMain runs the portal in fleet mode: -once renders a single view
 // to stdout; otherwise every request to -listen re-fetches the fleet
-// endpoint and serves the current view as plain text.
-func fleetMain(fleetURL, listen string, once bool) {
+// endpoint and serves the current view as plain text. With a checkpoint
+// path the payloads come from the checkpoint file instead of a live
+// endpoint — the offline view of a crashed run.
+func fleetMain(fleetURL, checkpointPath, listen string, once bool) {
+	if checkpointPath != "" {
+		cp, err := kwo.LoadFleetCheckpoint(checkpointPath)
+		if err != nil {
+			log.Fatalf("kwo-portal: %v", err)
+		}
+		k, ts, slo, err := kwo.FleetCheckpointView(cp)
+		if err != nil {
+			log.Fatalf("kwo-portal: %v", err)
+		}
+		fmt.Print(renderFleetView(&k, &ts, &slo))
+		return
+	}
 	c := fleetClient{base: strings.TrimRight(fleetURL, "/"), attempts: 60, delay: time.Second}
 	if once {
 		k, ts, slo, err := fetchFleet(c)
@@ -181,9 +195,13 @@ func renderFleetView(k *kwo.FleetLiveKPIs, ts *kwo.FleetTimeSeries, slo *kwo.Fle
 	if fleetSpend+fleetSavings > 0 {
 		share = 100 * fleetSavings / (fleetSpend + fleetSavings)
 	}
-	fmt.Fprintf(&b, "queries %.0f · spend %.2f cr · savings %.2f cr (%.1f%%) · degraded tenants %.1f · slo %d/%d passing\n\n",
+	fmt.Fprintf(&b, "queries %.0f · spend %.2f cr · savings %.2f cr (%.1f%%) · degraded tenants %.1f · slo %d/%d passing",
 		fleetSeriesTotal(ts, "queries"), fleetSpend, fleetSavings, share,
 		k.Fleet["degraded"], k.Tenants-k.SLOFailing, k.Tenants)
+	if k.Quarantined > 0 {
+		fmt.Fprintf(&b, " · quarantined %d", k.Quarantined)
+	}
+	b.WriteString("\n\n")
 
 	// Fleet-aggregate sparklines.
 	fmt.Fprintf(&b, "fleet series (point budget %d)\n", ts.Budget)
@@ -215,11 +233,34 @@ func renderFleetView(k *kwo.FleetLiveKPIs, ts *kwo.FleetTimeSeries, slo *kwo.Fle
 	}
 	b.WriteByte('\n')
 
+	// Alert plane: breach/recovery/quarantine counts plus the most
+	// recent alerts from the deterministic tracker log. Rendered only
+	// when the run has alerted at all.
+	if slo.Alerts.Total > 0 {
+		fmt.Fprintf(&b, "alerts (%d total: %d breaches, %d recoveries, %d quarantines",
+			slo.Alerts.Total, slo.Alerts.Breaches, slo.Alerts.Recoveries, slo.Alerts.Quarantines)
+		if len(slo.Alerts.Firing) > 0 {
+			fmt.Fprintf(&b, "; firing: %s", strings.Join(slo.Alerts.Firing, ", "))
+		}
+		b.WriteString(")\n")
+		recent := slo.Alerts.Recent
+		if len(recent) > 5 {
+			recent = recent[len(recent)-5:]
+		}
+		for _, a := range recent {
+			fmt.Fprintf(&b, "  %s\n", a.String())
+		}
+		b.WriteByte('\n')
+	}
+
 	// Per-tenant table, most regressed first: SLO failures (worst burn
 	// first), then degraded, then lowest savings share, then index.
 	rows := append([]kwo.FleetTenantLive(nil), k.PerTenant...)
 	sort.SliceStable(rows, func(i, j int) bool {
 		a, c := rows[i], rows[j]
+		if a.Quarantined != c.Quarantined {
+			return a.Quarantined
+		}
 		if a.SLOPass != c.SLOPass {
 			return !a.SLOPass
 		}
@@ -243,6 +284,9 @@ func renderFleetView(k *kwo.FleetLiveKPIs, ts *kwo.FleetTimeSeries, slo *kwo.Fle
 		pass := "ok"
 		if !row.SLOPass {
 			pass = "FAIL"
+		}
+		if row.Quarantined {
+			pass = "QUAR"
 		}
 		tsRow := kwo.ObsSeriesDump{}
 		for _, t := range ts.PerTenant {
@@ -279,6 +323,12 @@ func renderFleetView(k *kwo.FleetLiveKPIs, ts *kwo.FleetTimeSeries, slo *kwo.Fle
 				continue
 			}
 			fmt.Fprintf(&b, "  %s [%s]: %s\n", row.Tenant, strings.Join(row.Failed, ";"), row.Replay)
+		}
+	}
+	for _, row := range rows {
+		if row.Quarantined {
+			fmt.Fprintf(&b, "quarantined: %s at epoch %d (%s)\n",
+				row.Tenant, row.QuarantineEpoch, row.QuarantineReason)
 		}
 	}
 	return b.String()

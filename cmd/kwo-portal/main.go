@@ -19,6 +19,11 @@
 //	kwo-fleet -tenants 8 -obs-addr 127.0.0.1:9090 -obs-hold 10m &
 //	kwo-portal -fleet-url http://127.0.0.1:9090 -once
 //	kwo-portal -fleet-url http://127.0.0.1:9090 -listen :8080
+//
+// With -checkpoint the same view renders offline from a crash-recovery
+// checkpoint file — inspecting a crashed fleet without resuming it:
+//
+//	kwo-portal -checkpoint ckpt/fleet-epoch-000040.ckpt.json
 package main
 
 import (
@@ -36,11 +41,12 @@ func main() {
 	speedup := flag.Float64("speedup", 3600, "virtual seconds per wall second")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	fleetURL := flag.String("fleet-url", "", "render the fleet view over this kwo-fleet ops endpoint instead of serving the single-tenant API")
+	checkpoint := flag.String("checkpoint", "", "render the fleet view offline from this crash-recovery checkpoint file (no running fleet needed)")
 	once := flag.Bool("once", false, "with -fleet-url: print one fleet view to stdout and exit")
 	flag.Parse()
 
-	if *fleetURL != "" {
-		fleetMain(*fleetURL, *listen, *once)
+	if *fleetURL != "" || *checkpoint != "" {
+		fleetMain(*fleetURL, *checkpoint, *listen, *once)
 		return
 	}
 	if *once {

@@ -1,6 +1,7 @@
 package kwo
 
 import (
+	"io"
 	"net/http"
 	"time"
 
@@ -38,7 +39,35 @@ type (
 	FleetTimeSeries = fleet.FleetTimeSeries
 	// FleetSLOStatus is the /fleet/slo payload.
 	FleetSLOStatus = fleet.SLOStatus
+	// FleetCheckpoint is one epoch-aligned crash-recovery snapshot.
+	FleetCheckpoint = fleet.Checkpoint
+	// FleetCheckpointConfig is the behaviour-affecting config subset a
+	// checkpoint pins.
+	FleetCheckpointConfig = fleet.CheckpointConfig
+	// FleetAlertSummary is the alert-plane rollup in the SLO payload.
+	FleetAlertSummary = fleet.AlertSummary
+	// FleetAlert is one structured alert event (SLO breach/recovery or
+	// tenant quarantine), sequenced deterministically on the sim clock.
+	FleetAlert = obs.Alert
+	// AlertSink delivers fleet alerts; Send may fail and be retried.
+	AlertSink = obs.AlertSink
+	// MemoryAlertSink captures alerts in memory (tests, embedding).
+	MemoryAlertSink = obs.MemoryAlertSink
+	// JSONLAlertSink writes one deterministic JSON line per alert.
+	JSONLAlertSink = obs.JSONLAlertSink
+	// RetryAlertSink wraps a sink with bounded retry and backoff.
+	RetryAlertSink = obs.RetryAlertSink
 )
+
+// Alert kinds delivered to a FleetConfig.AlertSink.
+const (
+	AlertSLOBreach   = obs.AlertSLOBreach
+	AlertSLORecovery = obs.AlertSLORecovery
+	AlertQuarantine  = obs.AlertQuarantine
+)
+
+// NewJSONLAlertSink wraps w as a JSON-lines alert sink.
+func NewJSONLAlertSink(w io.Writer) *JSONLAlertSink { return obs.NewJSONLAlertSink(w) }
 
 // Fleet is a provisioned multi-tenant run.
 type Fleet struct {
@@ -85,6 +114,47 @@ func (f *Fleet) TimeSeries() FleetTimeSeries { return f.f.TimeSeries() }
 
 // SLOStatus returns per-tenant SLO verdicts (the /fleet/slo body).
 func (f *Fleet) SLOStatus() FleetSLOStatus { return f.f.SLOStatus() }
+
+// Alerts returns the deterministic alert log so far: SLO breaches,
+// recoveries, and tenant quarantines in sequence order.
+func (f *Fleet) Alerts() []FleetAlert { return f.f.Alerts() }
+
+// Checkpoint snapshots the fleet at its current epoch boundary.
+func (f *Fleet) Checkpoint() (*FleetCheckpoint, error) { return f.f.Checkpoint() }
+
+// WriteCheckpoint snapshots the fleet and writes the checkpoint
+// atomically into FleetConfig.CheckpointDir.
+func (f *Fleet) WriteCheckpoint() error { return f.f.WriteCheckpoint() }
+
+// LoadFleetCheckpoint reads and validates one checkpoint file.
+func LoadFleetCheckpoint(path string) (*FleetCheckpoint, error) {
+	return fleet.LoadCheckpoint(path)
+}
+
+// LatestFleetCheckpoint returns the newest loadable checkpoint in dir
+// and its path.
+func LatestFleetCheckpoint(dir string) (*FleetCheckpoint, string, error) {
+	return fleet.LatestCheckpoint(dir)
+}
+
+// ResumeFleet reconstructs a running fleet from a checkpoint: fresh
+// provision under the merged config, deterministic replay of the
+// checkpointed epochs (alert delivery muted), and field-by-field
+// verification against the snapshot. Continuing the resumed fleet
+// produces a report fingerprint byte-identical to an uninterrupted run.
+func ResumeFleet(cp *FleetCheckpoint, base FleetConfig) (*Fleet, error) {
+	f, err := fleet.Resume(cp, base)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{f: f}, nil
+}
+
+// FleetCheckpointView rebuilds the fleet ops payloads from a checkpoint
+// alone — offline inspection of a crashed run, no replay needed.
+func FleetCheckpointView(cp *FleetCheckpoint) (FleetLiveKPIs, FleetTimeSeries, FleetSLOStatus, error) {
+	return fleet.CheckpointView(cp)
+}
 
 // FleetTenantSeed derives tenant idx's simulation seed from a fleet
 // seed. ReplayFleetTenant (or `kwo-fleet -tenant-seed`) runs that

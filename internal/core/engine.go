@@ -330,6 +330,18 @@ func (e *Engine) BillingPeriodStart(warehouse string) (time.Time, error) {
 	return st.billStart, nil
 }
 
+// BillingWatermark returns the last completed metering bucket whose
+// billing history was ingested for the warehouse — the engine's ingest
+// cursor. The fleet's crash-recovery checkpoints record it so a resumed
+// run can prove its billing continuity matches the interrupted one.
+func (e *Engine) BillingWatermark(warehouse string) (time.Time, error) {
+	st, ok := e.models[warehouse]
+	if !ok {
+		return time.Time{}, fmt.Errorf("core: warehouse %s not attached", warehouse)
+	}
+	return st.lastBillingPull, nil
+}
+
 // AttachedAt returns when the warehouse was attached.
 func (e *Engine) AttachedAt(warehouse string) (time.Time, error) {
 	st, ok := e.models[warehouse]

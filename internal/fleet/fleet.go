@@ -18,6 +18,7 @@ package fleet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"kwo/internal/cdw"
@@ -69,6 +70,36 @@ type Config struct {
 	// retains; when full, the series halves itself by merging adjacent
 	// points (the stride doubles). 0 means 64; must not be negative.
 	SeriesBudget int
+	// AlertSink, when set, receives every SLO breach/recovery and tenant
+	// quarantine alert as it fires on an epoch barrier. Delivery is
+	// best-effort (failures are counted, not fatal) and muted during
+	// checkpoint replay so a resumed run never re-delivers alerts from
+	// before the crash. Alerts themselves are deterministic either way —
+	// the tracker log behind /fleet/slo is part of the checkpoint.
+	AlertSink obs.AlertSink
+	// CheckpointDir, when set, makes the fleet write an epoch-aligned
+	// crash-recovery checkpoint (atomically, temp file + rename) every
+	// CheckpointEvery epochs and at the final epoch. Resume restores a
+	// fresh process to the exact checkpointed state.
+	CheckpointDir string
+	// CheckpointEvery is the epoch cadence of checkpoint writes
+	// (default 8 when CheckpointDir is set).
+	CheckpointEvery int
+	// EpochDeadline, when positive, bounds one tenant's wall-clock time
+	// per epoch: a tenant that exceeds it is quarantined (frozen out of
+	// subsequent epochs) instead of stalling the fleet. Requires Wall.
+	EpochDeadline time.Duration
+	// Wall supplies wall-clock time for the epoch deadline watchdog.
+	// Injected rather than time.Now so the fleet package itself stays
+	// wall-clock-free (CI enforces this) and tests can fake a stall.
+	Wall func() time.Time
+	// PanicTenants force-arms a panic probe on the listed tenant
+	// indices: a scheduled event that panics mid-way through PanicEpoch,
+	// exercising the quarantine boundary on demand.
+	PanicTenants []int
+	// PanicEpoch is the 1-based epoch in which armed panic probes fire
+	// (default AttachEpoch+1).
+	PanicEpoch int
 	// Opts tunes every tenant's engine; the zero value means
 	// core.DefaultOptions(). Options.Obs is ignored — each tenant gets
 	// its own hub.
@@ -138,6 +169,32 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SeriesBudget == 0 {
 		c.SeriesBudget = 64
 	}
+	if c.CheckpointEvery < 0 {
+		return c, fmt.Errorf("fleet: CheckpointEvery must not be negative, got %d", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.EpochDeadline < 0 {
+		return c, fmt.Errorf("fleet: EpochDeadline must not be negative, got %v", c.EpochDeadline)
+	}
+	if c.EpochDeadline > 0 && c.Wall == nil {
+		return c, fmt.Errorf("fleet: EpochDeadline requires a Wall clock source")
+	}
+	for _, i := range c.PanicTenants {
+		if i < 0 || i >= c.Tenants {
+			return c, fmt.Errorf("fleet: PanicTenants index %d outside [0, %d)", i, c.Tenants)
+		}
+	}
+	if c.PanicEpoch == 0 {
+		c.PanicEpoch = c.AttachEpoch + 1
+		if c.PanicEpoch > c.Epochs {
+			c.PanicEpoch = c.Epochs
+		}
+	}
+	if c.PanicEpoch < 1 || c.PanicEpoch > c.Epochs {
+		return c, fmt.Errorf("fleet: PanicEpoch %d outside [1, %d]", c.PanicEpoch, c.Epochs)
+	}
 	c.SLO = c.SLO.WithDefaults()
 	if c.Opts.DecideEvery == 0 {
 		c.Opts = core.DefaultOptions()
@@ -152,13 +209,18 @@ func (c Config) withDefaults() (Config, error) {
 // RunEpoch/Run; the ops endpoints of Handler may be scraped while the
 // fleet is advancing.
 type Fleet struct {
-	cfg     Config
-	tenants []*tenant
-	pool    *experiments.Pool
-	plane   *obsPlane
-	start   time.Time
-	epoch   int
-	done    bool
+	cfg       Config
+	tenants   []*tenant
+	pool      *experiments.Pool
+	plane     *obsPlane
+	start     time.Time
+	epoch     int
+	done      bool
+	closeOnce sync.Once
+	// replaying is set while Resume re-executes checkpointed epochs: the
+	// watchdog is off (replay wall-clock bears no relation to the
+	// original run's) and external alert delivery is muted.
+	replaying bool
 }
 
 // New provisions a fleet: Tenants independent simulation stacks, each
@@ -206,10 +268,13 @@ func (f *Fleet) fanout(n int, fn func(i int)) {
 	f.pool.Run(n, fn)
 }
 
-// Close releases the fleet's worker pool goroutines. Idempotent; the
-// fleet remains usable afterwards (fan-outs run inline), so an ops
-// handler holding the fleet for /metrics scrapes stays safe.
-func (f *Fleet) Close() { f.pool.Close() }
+// Close releases the fleet's worker pool goroutines. Idempotent — a
+// second Close is a guaranteed no-op — and the fleet remains usable
+// afterwards (fan-outs run inline), so an ops handler holding the fleet
+// for /metrics scrapes stays safe.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() { f.pool.Close() })
+}
 
 // TenantIDs returns the zero-padded stable tenant labels a fleet of n
 // tenants uses (t00 … t63) — exported so tooling (kwo-obscheck
@@ -241,20 +306,27 @@ func (f *Fleet) Now() time.Time {
 }
 
 // RunEpoch advances every tenant one epoch through the worker pool and
-// then enforces the epoch barrier: all tenants must sit exactly on the
-// boundary. A degraded tenant advances like any other — simulated time
-// costs the same whether the optimizer is healthy or in safe mode — so
-// the barrier cannot stall on tenant health.
+// then enforces the epoch barrier: all non-quarantined tenants must sit
+// exactly on the boundary. A degraded tenant advances like any other —
+// simulated time costs the same whether the optimizer is healthy or in
+// safe mode — so the barrier cannot stall on tenant health. A tenant
+// that panics mid-step (or exceeds the wall-clock epoch deadline) is
+// quarantined: frozen at its last consistent state and excluded from
+// every subsequent epoch, leaving the rest of the fleet untouched.
 func (f *Fleet) RunEpoch() error {
 	if f.epoch >= f.cfg.Epochs {
 		return fmt.Errorf("fleet: all %d epochs already run", f.cfg.Epochs)
 	}
-	target := f.start.Add(time.Duration(f.epoch+1) * f.cfg.EpochLen)
+	epochNo := f.epoch + 1
+	target := f.start.Add(time.Duration(epochNo) * f.cfg.EpochLen)
 	f.fanout(len(f.tenants), func(i int) {
-		f.tenants[i].advanceTo(target)
+		f.stepTenant(f.tenants[i], epochNo, target)
 	})
-	f.epoch++
+	f.epoch = epochNo
 	for _, t := range f.tenants {
+		if t.quarantined() {
+			continue
+		}
 		if !t.sched.Now().Equal(target) {
 			return fmt.Errorf("fleet: epoch %d barrier violated: tenant %s at %v, want %v",
 				f.epoch, t.id, t.sched.Now(), target)
@@ -262,9 +334,55 @@ func (f *Fleet) RunEpoch() error {
 	}
 	// Epoch-boundary observation: per-tenant recorder samples plus the
 	// fleet-aggregate fold, sequential in tenant-index order so the
-	// series are byte-identical for any worker count.
+	// series are byte-identical for any worker count. SLO burn alerting
+	// and quarantine announcements ride the same barrier.
 	f.plane.record(target, f.epoch, f.tenants)
+	if f.cfg.CheckpointDir != "" && !f.replaying &&
+		(f.epoch%f.cfg.CheckpointEvery == 0 || f.epoch == f.cfg.Epochs) {
+		if err := f.WriteCheckpoint(); err != nil {
+			return fmt.Errorf("fleet: checkpoint at epoch %d: %w", f.epoch, err)
+		}
+	}
 	return nil
+}
+
+// stepTenant advances one tenant to the epoch boundary behind the
+// quarantine boundary. A panicking tenant is recovered and frozen out;
+// with an epoch deadline configured, a tenant whose step took too much
+// wall-clock time is frozen out post-hoc (the step itself is never
+// interrupted — tenant state stays consistent at the point the panic or
+// the boundary left it). Runs on an epoch worker.
+func (f *Fleet) stepTenant(t *tenant, epochNo int, target time.Time) {
+	if t.quarantined() {
+		return
+	}
+	if rq := t.qResume; rq != nil && rq.epoch == epochNo {
+		// The checkpoint being resumed had quarantined this tenant at
+		// this epoch: restore the recorded freeze instead of
+		// re-executing the failure.
+		t.qResume = nil
+		t.restoreQuarantine(rq)
+		return
+	}
+	watchdog := f.cfg.EpochDeadline > 0 && !f.replaying
+	var wallStart time.Time
+	if watchdog {
+		wallStart = f.cfg.Wall()
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.quarantineNow(epochNo, fmt.Sprintf("panic: %v", r))
+			}
+		}()
+		t.advanceTo(target)
+	}()
+	if watchdog && !t.quarantined() {
+		if elapsed := f.cfg.Wall().Sub(wallStart); elapsed > f.cfg.EpochDeadline {
+			t.quarantineNow(epochNo, fmt.Sprintf(
+				"epoch deadline exceeded: %v > %v", elapsed, f.cfg.EpochDeadline))
+		}
+	}
 }
 
 // Run drives all remaining epochs, stops every tenant's optimizer, and
@@ -279,7 +397,11 @@ func (f *Fleet) Run() (*Report, error) {
 	if !f.done {
 		f.done = true
 		f.fanout(len(f.tenants), func(i int) {
-			f.tenants[i].finalize()
+			// A quarantined tenant is never touched again — its KPI row
+			// was frozen at the quarantine epoch.
+			if !f.tenants[i].quarantined() {
+				f.tenants[i].finalize()
+			}
 		})
 		f.plane.setDone()
 	}
@@ -317,6 +439,8 @@ func (f *Fleet) Registries() []obs.LabeledRegistry {
 func ReplayTenant(seed int64, cfg Config) (TenantKPI, error) {
 	cfg.Tenants = 1
 	cfg.FaultTenants = nil
+	// Standalone replay has no quarantine boundary; never arm probes.
+	cfg.PanicTenants = nil
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return TenantKPI{}, err

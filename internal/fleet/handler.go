@@ -77,11 +77,39 @@ func Handler(f *Fleet) http.Handler {
 	mux.HandleFunc("/fleet/kpis", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, f.KPIs())
 	})
-	mux.HandleFunc("/fleet/timeseries", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, f.TimeSeries())
+	mux.HandleFunc("/fleet/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		want, ok := tenantParam(f, w, r)
+		if !ok {
+			return
+		}
+		ts := f.TimeSeries()
+		if want != "" {
+			filtered := ts.PerTenant[:0:0]
+			for _, row := range ts.PerTenant {
+				if row.Tenant == want {
+					filtered = append(filtered, row)
+				}
+			}
+			ts.PerTenant = filtered
+		}
+		writeJSON(w, ts)
 	})
-	mux.HandleFunc("/fleet/slo", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, f.SLOStatus())
+	mux.HandleFunc("/fleet/slo", func(w http.ResponseWriter, r *http.Request) {
+		want, ok := tenantParam(f, w, r)
+		if !ok {
+			return
+		}
+		slo := f.SLOStatus()
+		if want != "" {
+			filtered := slo.PerTenant[:0:0]
+			for _, row := range slo.PerTenant {
+				if row.Tenant == want {
+					filtered = append(filtered, row)
+				}
+			}
+			slo.PerTenant = filtered
+		}
+		writeJSON(w, slo)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -95,6 +123,44 @@ func Handler(f *Fleet) http.Handler {
 			len(f.tenants))
 	})
 	return mux
+}
+
+// tenantParam validates an optional ?tenant= query against the fleet's
+// labels, mirroring /events' treatment of ?n=: a malformed value (not a
+// tNN label) or a label outside the fleet answers 400 with a usable
+// message instead of silently returning an unfiltered payload. The
+// second result is false when a response was already written.
+func tenantParam(f *Fleet, w http.ResponseWriter, r *http.Request) (string, bool) {
+	q := r.URL.Query()
+	if !q.Has(TenantLabel) {
+		return "", true
+	}
+	want := q.Get(TenantLabel)
+	if !validTenantLabel(want) {
+		http.Error(w, fmt.Sprintf("tenant must be a tNN label, got %q", want), http.StatusBadRequest)
+		return "", false
+	}
+	for _, t := range f.tenants {
+		if t.id == want {
+			return want, true
+		}
+	}
+	http.Error(w, fmt.Sprintf("unknown tenant %q", want), http.StatusBadRequest)
+	return "", false
+}
+
+// validTenantLabel reports whether s has the shape of a tenant label:
+// 't' followed by at least two digits (the zero-padded index).
+func validTenantLabel(s string) bool {
+	if len(s) < 3 || s[0] != 't' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // writeJSON renders a /fleet/* payload as deterministic indented JSON

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHandlerTenantParamValidation: /fleet/timeseries and /fleet/slo
+// reject malformed or unknown ?tenant= values with 400 (matching the
+// ?n= contract on /fleet/timeseries) instead of silently returning an
+// empty filter.
+func TestHandlerTenantParamValidation(t *testing.T) {
+	cfg := testConfig(3, 2)
+	cfg.Epochs = 4
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h := Handler(f)
+
+	for _, path := range []string{"/fleet/timeseries", "/fleet/slo"} {
+		for _, tc := range []struct {
+			query  string
+			errHas string
+		}{
+			{"?tenant=bogus", "tenant must be a tNN label"},
+			{"?tenant=t1", "tenant must be a tNN label"}, // too few digits
+			{"?tenant=t0x", "tenant must be a tNN label"},
+			{"?tenant=", "tenant must be a tNN label"},
+			{"?tenant=t99", "unknown tenant"},
+		} {
+			code, body := get(t, h, path+tc.query)
+			if code != 400 {
+				t.Errorf("%s%s status = %d, want 400", path, tc.query, code)
+			}
+			if !strings.Contains(body, tc.errHas) {
+				t.Errorf("%s%s body = %q, want %q", path, tc.query, body, tc.errHas)
+			}
+		}
+		// No tenant param at all: full payload, no error.
+		if code, _ := get(t, h, path); code != 200 {
+			t.Errorf("%s without tenant param status = %d, want 200", path, code)
+		}
+	}
+
+	// A valid, known tenant filters the payload down to that tenant.
+	code, body := get(t, h, "/fleet/timeseries?tenant=t01")
+	if code != 200 {
+		t.Fatalf("valid tenant filter status = %d: %s", code, body)
+	}
+	var ts FleetTimeSeries
+	if err := json.Unmarshal([]byte(body), &ts); err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.PerTenant) != 1 || ts.PerTenant[0].Tenant != "t01" {
+		t.Fatalf("filtered timeseries rows = %+v, want exactly t01", ts.PerTenant)
+	}
+
+	code, body = get(t, h, "/fleet/slo?tenant=t02")
+	if code != 200 {
+		t.Fatalf("valid tenant SLO filter status = %d: %s", code, body)
+	}
+	var slo SLOStatus
+	if err := json.Unmarshal([]byte(body), &slo); err != nil {
+		t.Fatal(err)
+	}
+	if len(slo.PerTenant) != 1 || slo.PerTenant[0].Tenant != "t02" {
+		t.Fatalf("filtered SLO rows = %+v, want exactly t02", slo.PerTenant)
+	}
+}

@@ -35,6 +35,16 @@ type obsPlane struct {
 	epoch      int
 	now        time.Time
 	done       bool
+
+	// The alert plane. The tracker is the deterministic part — it runs
+	// on the simulation clock and its log is checkpointed state. The
+	// sink is external delivery (JSONL file, operator pager); mute turns
+	// delivery off during checkpoint replay so a resumed run does not
+	// re-page for alerts already delivered before the crash.
+	tracker  *obs.AlertTracker
+	sink     obs.AlertSink
+	mute     bool
+	sinkErrs int
 }
 
 func newObsPlane(cfg Config, start time.Time) *obsPlane {
@@ -43,12 +53,26 @@ func newObsPlane(cfg Config, start time.Time) *obsPlane {
 		objectives: cfg.SLO.Objectives(),
 		budget:     cfg.SeriesBudget,
 		now:        start,
+		tracker:    obs.NewAlertTracker(),
+		sink:       cfg.AlertSink,
 	}
 	p.fleet = make([]*obs.Series, len(p.specs))
 	for i, sp := range p.specs {
 		p.fleet[i] = obs.NewSeries(sp.Name, sp.TimeAgg, cfg.SeriesBudget)
 	}
 	return p
+}
+
+// deliver sends one alert to the external sink (if any, and not muted
+// by replay). Delivery failures are counted, never fatal: the tracker's
+// log is the durable record, the sink is best-effort notification.
+func (p *obsPlane) deliver(a obs.Alert) {
+	if p.mute || p.sink == nil {
+		return
+	}
+	if err := p.sink.Send(a); err != nil {
+		p.sinkErrs++
+	}
 }
 
 // record takes the epoch-boundary sample: every tenant's recorder in
@@ -63,7 +87,18 @@ func (p *obsPlane) record(t time.Time, epoch int, tenants []*tenant) {
 	defer p.mu.Unlock()
 	agg := make([]float64, len(p.specs))
 	seen := false
+	active := 0
 	for _, tn := range tenants {
+		if tn.quarantined() {
+			// A quarantined tenant's series freeze at its last sample;
+			// it drops out of the fleet aggregate. Announce the
+			// quarantine exactly once, on the first barrier after it.
+			if !tn.qAnnounced {
+				tn.qAnnounced = true
+				p.deliver(p.tracker.Quarantine(t, tn.qEpoch, tn.id, tn.qReason))
+			}
+			continue
+		}
 		vals := tn.rec.Sample(t)
 		for i, v := range vals {
 			switch p.specs[i].CrossAgg {
@@ -78,13 +113,27 @@ func (p *obsPlane) record(t time.Time, epoch int, tenants []*tenant) {
 			}
 		}
 		seen = true
+		active++
 	}
 	for i, s := range p.fleet {
 		v := agg[i]
-		if p.specs[i].CrossAgg == obs.AggMean && len(tenants) > 0 {
-			v /= float64(len(tenants))
+		if p.specs[i].CrossAgg == obs.AggMean && active > 0 {
+			v /= float64(active)
 		}
 		s.Append(t, v)
+	}
+	// SLO burn alerting: evaluate each active tenant's objectives over
+	// its freshly-sampled series and let the tracker dedupe transitions.
+	// Sequential in index order under the plane lock, so alert sequence
+	// numbers are deterministic for any worker count.
+	for _, tn := range tenants {
+		if tn.quarantined() {
+			continue
+		}
+		verdicts := obs.Evaluate(p.objectives, tn.rec.Series)
+		for _, a := range p.tracker.Observe(t, epoch, tn.id, verdicts) {
+			p.deliver(a)
+		}
 	}
 	p.epoch = epoch
 	p.now = t
@@ -107,6 +156,10 @@ type TenantLive struct {
 	WorstBurn float64            `json:"slo_worst_burn"`
 	Failed    []string           `json:"slo_failed,omitempty"`
 	Replay    string             `json:"replay"`
+
+	Quarantined      bool   `json:"quarantined,omitempty"`
+	QuarantineEpoch  int    `json:"quarantine_epoch,omitempty"`
+	QuarantineReason string `json:"quarantine_reason,omitempty"`
 }
 
 // LiveKPIs is the /fleet/kpis payload: fleet progress, the latest
@@ -123,6 +176,7 @@ type LiveKPIs struct {
 	Done        bool               `json:"done"`
 	Fleet       map[string]float64 `json:"fleet"`
 	SLOFailing  int                `json:"slo_failing"`
+	Quarantined int                `json:"quarantined,omitempty"`
 	PerTenant   []TenantLive       `json:"per_tenant"`
 }
 
@@ -150,6 +204,23 @@ type TenantSLO struct {
 	WorstBurn float64       `json:"worst_burn"`
 	Verdicts  []obs.Verdict `json:"verdicts"`
 	Replay    string        `json:"replay"`
+
+	Quarantined      bool   `json:"quarantined,omitempty"`
+	QuarantineEpoch  int    `json:"quarantine_epoch,omitempty"`
+	QuarantineReason string `json:"quarantine_reason,omitempty"`
+}
+
+// AlertSummary is the alert plane's rollup inside the SLO payload: the
+// deterministic tracker log's totals plus currently-firing objectives
+// and the most recent alerts.
+type AlertSummary struct {
+	Total       uint64      `json:"total"`
+	Breaches    int         `json:"breaches"`
+	Recoveries  int         `json:"recoveries"`
+	Quarantines int         `json:"quarantines"`
+	SinkErrors  int         `json:"sink_errors,omitempty"`
+	Firing      []string    `json:"firing,omitempty"`
+	Recent      []obs.Alert `json:"recent,omitempty"`
 }
 
 // SLOStatus is the /fleet/slo payload: the effective config and
@@ -162,6 +233,8 @@ type SLOStatus struct {
 	Failing            int            `json:"failing"`
 	WorstBurn          float64        `json:"worst_burn"`
 	FailingByObjective map[string]int `json:"failing_by_objective"`
+	Quarantined        int            `json:"quarantined,omitempty"`
+	Alerts             AlertSummary   `json:"alerts"`
 	PerTenant          []TenantSLO    `json:"per_tenant"`
 }
 
@@ -186,6 +259,8 @@ func (f *Fleet) KPIs() LiveKPIs {
 		out.Fleet[s.Name()] = s.Last()
 	}
 	for _, t := range f.tenants {
+		// A quarantined tenant's series are frozen at its quarantine
+		// epoch, so evaluating over them reports its last-known state.
 		verdicts := obs.Evaluate(p.objectives, t.rec.Series)
 		failed := obs.FailedObjectives(verdicts)
 		row := TenantLive{
@@ -198,6 +273,12 @@ func (f *Fleet) KPIs() LiveKPIs {
 			WorstBurn: obs.WorstBurn(verdicts),
 			Failed:    failed,
 			Replay:    replayCommand(f.cfg, t.idx, t.seed),
+		}
+		if t.quarantined() {
+			row.Quarantined = true
+			row.QuarantineEpoch = t.qEpoch
+			row.QuarantineReason = t.qReason
+			out.Quarantined++
 		}
 		for _, sp := range p.specs {
 			row.Last[sp.Name] = t.rec.Series(sp.Name).Last()
@@ -251,6 +332,12 @@ func (f *Fleet) SLOStatus() SLOStatus {
 			Verdicts:  verdicts,
 			Replay:    replayCommand(f.cfg, t.idx, t.seed),
 		}
+		if t.quarantined() {
+			row.Quarantined = true
+			row.QuarantineEpoch = t.qEpoch
+			row.QuarantineReason = t.qReason
+			out.Quarantined++
+		}
 		if row.Pass {
 			out.Passing++
 		} else {
@@ -264,7 +351,42 @@ func (f *Fleet) SLOStatus() SLOStatus {
 		}
 		out.PerTenant = append(out.PerTenant, row)
 	}
+	out.Alerts = p.alertSummary()
 	return out
+}
+
+// alertSummary rolls the tracker log up; callers hold the plane lock.
+func (p *obsPlane) alertSummary() AlertSummary {
+	log := p.tracker.Log()
+	sum := AlertSummary{
+		Total:      p.tracker.Seq(),
+		SinkErrors: p.sinkErrs,
+		Firing:     p.tracker.FiringKeys(),
+	}
+	for _, a := range log {
+		switch a.Kind {
+		case obs.AlertSLOBreach:
+			sum.Breaches++
+		case obs.AlertSLORecovery:
+			sum.Recoveries++
+		case obs.AlertQuarantine:
+			sum.Quarantines++
+		}
+	}
+	const recent = 20
+	if len(log) > recent {
+		log = log[len(log)-recent:]
+	}
+	sum.Recent = log
+	return sum
+}
+
+// Alerts returns the full deterministic alert log so far (breaches,
+// recoveries, quarantines), in sequence order.
+func (f *Fleet) Alerts() []obs.Alert {
+	f.plane.mu.Lock()
+	defer f.plane.mu.Unlock()
+	return f.plane.tracker.Log()
 }
 
 // replayCommand renders the kwo-fleet invocation that replays one

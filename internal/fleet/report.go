@@ -48,6 +48,13 @@ type TenantKPI struct {
 	SLOFailed    []string      `json:"slo_failed,omitempty"`
 	SLO          []obs.Verdict `json:"slo,omitempty"`
 
+	// Quarantine state: a tenant that panicked or blew the epoch
+	// deadline is frozen out of subsequent epochs, and its row reports
+	// the KPI captured at the quarantine epoch.
+	Quarantined      bool   `json:"quarantined,omitempty"`
+	QuarantineEpoch  int    `json:"quarantine_epoch,omitempty"`
+	QuarantineReason string `json:"quarantine_reason,omitempty"`
+
 	Err string `json:"err,omitempty"`
 }
 
@@ -81,6 +88,8 @@ type Report struct {
 	SLOFailingTenants     int            `json:"slo_failing_tenants"`
 	SLOWorstBurn          float64        `json:"slo_worst_burn"`
 	SLOFailingByObjective map[string]int `json:"slo_failing_by_objective,omitempty"`
+
+	QuarantinedTenants int `json:"quarantined_tenants,omitempty"`
 
 	PerTenant    []TenantKPI `json:"per_tenant"`
 	TopRegressed []TenantKPI `json:"top_regressed"`
@@ -131,6 +140,9 @@ func rollup(cfg Config, kpis []TenantKPI) *Report {
 		if k.SLOWorstBurn > r.SLOWorstBurn {
 			r.SLOWorstBurn = k.SLOWorstBurn
 		}
+		if k.Quarantined {
+			r.QuarantinedTenants++
+		}
 	}
 	if len(kpis) > 0 {
 		r.MeanP99 = p99Sum / time.Duration(len(kpis))
@@ -151,6 +163,11 @@ func topRegressed(kpis []TenantKPI, k int) []TenantKPI {
 	ranked := append([]TenantKPI(nil), kpis...)
 	sort.SliceStable(ranked, func(i, j int) bool {
 		a, b := ranked[i], ranked[j]
+		// Quarantined tenants lead outright: being frozen out of the
+		// fleet is the most regressed a tenant can be.
+		if a.Quarantined != b.Quarantined {
+			return a.Quarantined
+		}
 		af, bf := len(a.SLOFailed) > 0, len(b.SLOFailed) > 0
 		if af != bf {
 			return af
@@ -178,12 +195,21 @@ func topRegressed(kpis []TenantKPI, k int) []TenantKPI {
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// sanitizeCSV keeps free-text fields (quarantine reasons carry panic
+// messages) from breaking the fixed column count.
+func sanitizeCSV(s string) string {
+	s = strings.ReplaceAll(s, ",", ";")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}
+
 // csvHeader is the rollup's column contract; WriteCSV and the
 // fingerprint both build on it.
 const csvHeader = "tenant,index,seed,profile,queries,actual_credits,without_keebo_credits," +
 	"savings_credits,savings_percent,p99_ms,actions_applied,invoices,model_ready," +
 	"degraded,degraded_ticks,recoveries,alter_failures,alter_ack_losts,billing_failures," +
-	"obs_events,events_fingerprint,snapshot_fingerprint,slo_pass,slo_worst_burn,slo_failed,err"
+	"obs_events,events_fingerprint,snapshot_fingerprint,slo_pass,slo_worst_burn,slo_failed," +
+	"quarantined,quarantine_epoch,quarantine_reason,err"
 
 // WriteCSV renders the per-tenant rollup as deterministic CSV: fixed
 // column order, shortest-round-trip floats, one row per tenant in
@@ -192,7 +218,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString(csvHeader + "\n")
 	for _, k := range r.PerTenant {
-		fmt.Fprintf(&b, "%s,%d,%d,%s,%d,%s,%s,%s,%s,%s,%d,%d,%t,%t,%d,%d,%d,%d,%d,%d,%s,%s,%t,%s,%s,%s\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%s,%d,%s,%s,%s,%s,%s,%d,%d,%t,%t,%d,%d,%d,%d,%d,%d,%s,%s,%t,%s,%s,%t,%d,%s,%s\n",
 			k.Tenant, k.Index, k.Seed, k.Profile, k.Queries,
 			fmtFloat(k.ActualCredits), fmtFloat(k.WithoutKeebo), fmtFloat(k.Savings),
 			fmtFloat(k.SavingsPercent), fmtFloat(float64(k.P99Latency)/float64(time.Millisecond)),
@@ -200,7 +226,8 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			k.Degraded, k.DegradedTicks, k.Recoveries,
 			k.Faults.AlterFailures, k.Faults.AlterAckLosts, k.Faults.BillingFailures,
 			k.ObsEvents, k.EventsFingerprint, k.SnapshotFingerprint,
-			k.SLOPass, fmtFloat(k.SLOWorstBurn), strings.Join(k.SLOFailed, ";"), k.Err)
+			k.SLOPass, fmtFloat(k.SLOWorstBurn), strings.Join(k.SLOFailed, ";"),
+			k.Quarantined, k.QuarantineEpoch, sanitizeCSV(k.QuarantineReason), k.Err)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -254,11 +281,16 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "; failing: %s", strings.Join(parts, ", "))
 	}
 	b.WriteByte('\n')
+	if r.QuarantinedTenants > 0 {
+		fmt.Fprintf(&b, "  quarantined: %d tenants frozen out\n", r.QuarantinedTenants)
+	}
 	if len(r.TopRegressed) > 0 {
 		fmt.Fprintf(&b, "  top regressed tenants:\n")
 		for _, k := range r.TopRegressed {
 			state := "healthy"
-			if k.Degraded {
+			if k.Quarantined {
+				state = fmt.Sprintf("quarantined(epoch %d)", k.QuarantineEpoch)
+			} else if k.Degraded {
 				state = "degraded"
 			} else if k.DegradedTicks > 0 {
 				state = fmt.Sprintf("recovered(%d ticks)", k.DegradedTicks)

@@ -2,11 +2,13 @@ package fleet
 
 import (
 	"crypto/sha256"
+	"encoding"
 	"encoding/hex"
 	"fmt"
 	"hash"
 	"io"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"kwo/internal/cdw"
@@ -194,6 +196,32 @@ func (e *eventHasher) Emit(ev obs.Event) {
 // Sum returns the hex fingerprint of everything hashed so far.
 func (e *eventHasher) Sum() string { return hex.EncodeToString(e.h.Sum(nil)) }
 
+// State exports the running hash's internal state (sha256 implements
+// encoding.BinaryMarshaler) so a checkpoint can pin the event stream's
+// exact position, not just its digest so far.
+func (e *eventHasher) State() ([]byte, error) {
+	m, ok := e.h.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("fleet: event hash %T is not marshalable", e.h)
+	}
+	return m.MarshalBinary()
+}
+
+// countingSource wraps a rand.Source64 and counts draws — the RNG
+// stream position a checkpoint records. It implements both Int63 and
+// Uint64 by pure delegation, so rand.Rand takes the same fast Source64
+// path it would on the unwrapped source and the stream is bit-identical.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) { c.n = 0; c.src.Seed(seed) }
+
 // tenant is one fully independent simulation stack: its own virtual
 // clock, simulated account, telemetry store, obs hub, and optimizer
 // engine. Tenants share no mutable state — that is the fleet's whole
@@ -221,6 +249,28 @@ type tenant struct {
 	cursor     workload.Cursor // nil once the stream is exhausted (or when eager)
 	scheduled  int
 	attachErr  error
+	wdraws     *countingSource // workload RNG stream position
+
+	// Quarantine state. quar is atomic because the ops handlers read it
+	// while epoch workers may be writing; every other field below is
+	// written before the Store(true) and only read after a Load(true),
+	// so the atomic publishes them safely. qAnnounced is touched only on
+	// the sequential epoch barrier.
+	quar       atomic.Bool
+	qEpoch     int
+	qReason    string
+	frozen     *TenantKPI
+	qResume    *resumeQuarantine
+	qAnnounced bool
+}
+
+// resumeQuarantine marks a tenant that the checkpoint being resumed had
+// quarantined: at the recorded epoch the replay skips the advance and
+// restores the frozen state instead of re-executing the failure.
+type resumeQuarantine struct {
+	epoch  int
+	reason string
+	kpi    *TenantKPI
 }
 
 // newTenant provisions one tenant: derive its profile and fault plan,
@@ -298,7 +348,11 @@ func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 	// knob keeps the old path alive for benchmarks to prove it).
 	gen := t.prof.generator()
 	t.horizonEnd = t.start.Add(horizon)
-	wrng := t.sched.Rand("fleet:workload:" + gen.Name())
+	// The workload source is wrapped to count draws — the checkpointed
+	// RNG stream position. The wrapper delegates both Int63 and Uint64,
+	// so the stream is bit-identical to the plain Rand derivation.
+	t.wdraws = &countingSource{src: rand.NewSource(t.sched.SeedFor("fleet:workload:" + gen.Name())).(rand.Source64)}
+	wrng := rand.New(t.wdraws)
 	if cfg.eagerProvision {
 		arr := gen.Generate(t.start, t.horizonEnd, wrng)
 		t.scheduled, _ = workload.Drive(t.sched, t.acct, warehouseName, arr)
@@ -317,7 +371,65 @@ func newTenant(idx int, id string, seed int64, cfg Config) *tenant {
 		}
 		t.eng.Start()
 	})
+	// The panic probe: a scheduled event that panics mid-way through the
+	// configured epoch, exercising the fleet's quarantine boundary on
+	// demand. Scheduling it shifts later events' tie-break sequence
+	// numbers uniformly (relative order is preserved) and draws from no
+	// RNG stream, so behaviour before the probe fires is unperturbed.
+	for _, pi := range cfg.PanicTenants {
+		if pi == idx {
+			at := t.start.Add(time.Duration(cfg.PanicEpoch-1)*cfg.EpochLen + cfg.EpochLen/2)
+			t.sched.Schedule(at, "fleet:panic-probe", func() {
+				panic(fmt.Sprintf("fleet: tenant %s panic probe (epoch %d)", id, cfg.PanicEpoch))
+			})
+		}
+	}
 	return t
+}
+
+// quarantined reports whether the tenant has been frozen out.
+func (t *tenant) quarantined() bool { return t.quar.Load() }
+
+// quarantineNow freezes the tenant: records the epoch and reason,
+// computes its final KPI row defensively (the tenant may have panicked
+// mid-step), and publishes the quarantined flag. Called from an epoch
+// worker; the fields-then-flag write order is what makes the concurrent
+// handler reads safe.
+func (t *tenant) quarantineNow(epoch int, reason string) {
+	t.qEpoch = epoch
+	t.qReason = reason
+	t.frozen = t.freezeKPI(epoch, reason)
+	t.quar.Store(true)
+}
+
+// restoreQuarantine re-installs a quarantine recorded in a checkpoint
+// without re-executing the failure.
+func (t *tenant) restoreQuarantine(rq *resumeQuarantine) {
+	t.qEpoch = rq.epoch
+	t.qReason = rq.reason
+	k := *rq.kpi
+	t.frozen = &k
+	t.quar.Store(true)
+}
+
+// freezeKPI computes the quarantined tenant's last-known KPI row. The
+// computation itself runs behind a recover — a tenant that panicked
+// mid-step may not be able to answer every question — falling back to
+// an identity-only row rather than taking the fleet down twice.
+func (t *tenant) freezeKPI(epoch int, reason string) *TenantKPI {
+	k := TenantKPI{Tenant: t.id, Index: t.idx, Seed: t.seed, Profile: t.prof.String()}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				k.Err = fmt.Sprintf("kpi after quarantine: %v", r)
+			}
+		}()
+		k = t.kpiNow()
+	}()
+	k.Quarantined = true
+	k.QuarantineEpoch = epoch
+	k.QuarantineReason = reason
+	return &k
 }
 
 // advanceTo provisions the next workload chunk and runs the tenant's
@@ -364,8 +476,19 @@ func (t *tenant) evalSLO() []obs.Verdict {
 	return obs.Evaluate(t.objs, t.rec.Series)
 }
 
-// kpi rolls the tenant's run up into one report row.
+// kpi rolls the tenant's run up into one report row. A quarantined
+// tenant reports the KPI frozen at its quarantine epoch — its series,
+// fingerprints, and SLO verdicts stop evolving the moment it left the
+// fleet.
 func (t *tenant) kpi() TenantKPI {
+	if t.quarantined() {
+		return *t.frozen
+	}
+	return t.kpiNow()
+}
+
+// kpiNow assembles the row from live tenant state.
+func (t *tenant) kpiNow() TenantKPI {
 	now := t.sched.Now()
 	k := TenantKPI{
 		Tenant:  t.id,

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestEvaluateBurnAtCapExactly pins the boundary arithmetic: a ratio
+// sitting exactly at BurnCap times its target reports Burn == BurnCap
+// (capBurn keeps equality, only clamps beyond), and anything past the
+// cap clamps to the same value — burn stays finite and JSON-encodable.
+func TestEvaluateBurnAtCapExactly(t *testing.T) {
+	objs := []Objective{{Name: "abandon", Kind: RatioUnder,
+		Num: []string{"bad"}, Den: []string{"all"}, Target: 0.001}}
+
+	// value = 1.0, target = 0.001 → burn = exactly 1000 = BurnCap.
+	at := seriesMap(map[string]*Series{
+		"bad": mkSeries("bad", AggSum, 10),
+		"all": mkSeries("all", AggSum, 10),
+	})
+	v := Evaluate(objs, at)[0]
+	if v.Burn != BurnCap {
+		t.Fatalf("burn at cap boundary = %v, want exactly %v", v.Burn, BurnCap)
+	}
+	if v.Pass {
+		t.Fatalf("verdict at cap passes: %+v", v)
+	}
+
+	// value = 2.0 → raw burn 2000 clamps to the cap.
+	over := seriesMap(map[string]*Series{
+		"bad": mkSeries("bad", AggSum, 20),
+		"all": mkSeries("all", AggSum, 10),
+	})
+	v = Evaluate(objs, over)[0]
+	if v.Burn != BurnCap {
+		t.Fatalf("burn past cap = %v, want clamped to %v", v.Burn, BurnCap)
+	}
+	if v.Value != 2 {
+		t.Fatalf("value past cap = %v, want 2 (value itself is not clamped)", v.Value)
+	}
+}
+
+// TestEvaluateZeroDenominatorPaths covers the two degenerate branches
+// that must report BurnCap rather than Inf/NaN: a stay-under objective
+// with a non-positive target but positive value, and a stay-over
+// objective whose value collapsed to zero.
+func TestEvaluateZeroDenominatorPaths(t *testing.T) {
+	under := []Objective{{Name: "u", Kind: RatioUnder,
+		Num: []string{"bad"}, Den: []string{"all"}, Target: 0}}
+	v := Evaluate(under, seriesMap(map[string]*Series{
+		"bad": mkSeries("bad", AggSum, 1),
+		"all": mkSeries("all", AggSum, 10),
+	}))[0]
+	if v.Burn != BurnCap || v.Pass {
+		t.Fatalf("zero-target under verdict = %+v, want burn %v fail", v, BurnCap)
+	}
+
+	over := []Objective{{Name: "o", Kind: RatioOver,
+		Num: []string{"savings"}, Den: []string{"total"}, Target: 0.05}}
+	v = Evaluate(over, seriesMap(map[string]*Series{
+		"savings": mkSeries("savings", AggSum, 0),
+		"total":   mkSeries("total", AggSum, 100),
+	}))[0]
+	if v.Burn != BurnCap || v.Pass {
+		t.Fatalf("zero-value over verdict = %+v, want burn %v fail", v, BurnCap)
+	}
+}
+
+// TestEvaluateFrozenSeriesStable is the quarantine contract at the obs
+// layer: evaluating objectives over a series that will never be
+// appended to again (a quarantined tenant's frozen rings) is pure and
+// repeatable — the same verdicts, byte for byte, every time.
+func TestEvaluateFrozenSeriesStable(t *testing.T) {
+	frozen := map[string]*Series{
+		"bad": mkSeries("bad", AggSum, 1, 0, 2, 1),
+		"all": mkSeries("all", AggSum, 10, 10, 10, 10),
+	}
+	objs := []Objective{{Name: "abandon", Kind: RatioUnder,
+		Num: []string{"bad"}, Den: []string{"all"}, Target: 0.05}}
+
+	first := Evaluate(objs, seriesMap(frozen))
+	for i := 0; i < 5; i++ {
+		again := Evaluate(objs, seriesMap(frozen))
+		if len(again) != len(first) || again[0] != first[0] {
+			t.Fatalf("evaluation %d over frozen series diverged: %+v vs %+v", i, again[0], first[0])
+		}
+	}
+	if first[0].Pass || first[0].Burn != 2 {
+		t.Fatalf("frozen verdict = %+v, want fail with burn 2", first[0])
+	}
+	// Evaluation must not have perturbed the series themselves.
+	if tot, _ := frozen["bad"].Total(); tot != 4 {
+		t.Fatalf("frozen series mutated by evaluation: total = %v, want 4", tot)
+	}
+}

@@ -95,6 +95,11 @@ func (s *Scheduler) Now() time.Time { return s.now }
 // Steps returns the number of events executed so far.
 func (s *Scheduler) Steps() uint64 { return s.steps }
 
+// Seq returns the number of events ever scheduled — the tie-break
+// counter behind same-time ordering. Together with Steps it pins a
+// scheduler's position exactly; checkpoint verification compares both.
+func (s *Scheduler) Seq() uint64 { return s.seq }
+
 // Schedule enqueues fn to run at time at. Scheduling in the past is an
 // error in the simulation logic, so it panics rather than silently
 // reordering history.
@@ -189,9 +194,16 @@ func (s *Scheduler) Halted() bool { return s.halted }
 // the scheduler seed and a name. Two streams with different names are
 // decorrelated; the same name always yields the same stream.
 func (s *Scheduler) Rand(name string) *rand.Rand {
+	return rand.New(rand.NewSource(s.SeedFor(name)))
+}
+
+// SeedFor returns the derived seed Rand(name) builds its source from —
+// callers that need to wrap the source (e.g. to count draws for a
+// checkpoint) get the identical stream by seeding their own.
+func (s *Scheduler) SeedFor(name string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	return rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))
+	return s.seed ^ int64(h.Sum64())
 }
 
 // Elapsed returns the virtual time elapsed since start.
